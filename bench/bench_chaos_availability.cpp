@@ -1,0 +1,114 @@
+// Availability under partition churn — the "why partitionable?" experiment
+// (paper Sect. 1/4: partitionable operation keeps every side of a split
+// making progress).
+//
+// A ChaosMonkey injects random two-way partitions for two simulated
+// minutes. Every 100 ms each process is probed: under the *partitionable*
+// model it is available whenever it holds a view of its group (it can send
+// and deliver within its side); under a *primary-component* model — what a
+// non-partitionable service would give — it is available only when its view
+// holds a majority. The gap between the two columns is the availability the
+// paper's design recovers.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/chaos.hpp"
+#include "harness/world.hpp"
+#include "lwg/lwg_user.hpp"
+#include "metrics/stats.hpp"
+
+namespace plwg::bench {
+namespace {
+
+class NullUser : public lwg::LwgUser {
+ public:
+  void on_lwg_view(LwgId, const lwg::LwgView&) override {}
+  void on_lwg_data(LwgId, ProcessId, std::span<const std::uint8_t>) override {}
+};
+
+struct Availability {
+  double partitionable = 0;
+  double primary_component = 0;
+  std::size_t partitions = 0;
+};
+
+Availability run_one(std::uint64_t seed, Duration mean_partition_us) {
+  constexpr std::size_t kProcs = 6;
+  harness::WorldConfig cfg;
+  cfg.num_processes = kProcs;
+  cfg.num_name_servers = 2;
+  harness::SimWorld world(cfg);
+  std::vector<NullUser> users(kProcs);
+  const LwgId id{1};
+  world.lwg(0).join(id, users[0]);
+  world.run_until([&] { return world.lwg(0).view_of(id) != nullptr; },
+                  20'000'000);
+  for (std::size_t i = 1; i < kProcs; ++i) world.lwg(i).join(id, users[i]);
+  world.run_until(
+      [&] {
+        for (std::size_t i = 0; i < kProcs; ++i) {
+          const lwg::LwgView* v = world.lwg(i).view_of(id);
+          if (v == nullptr || v->members.size() != kProcs) return false;
+        }
+        return true;
+      },
+      60'000'000);
+
+  harness::ChaosConfig chaos_cfg;
+  chaos_cfg.seed = seed;
+  chaos_cfg.mean_interval_us = 6'000'000;
+  chaos_cfg.mean_partition_us = mean_partition_us;
+  harness::ChaosMonkey chaos(world, chaos_cfg);
+
+  constexpr Duration kRun = 120'000'000;
+  constexpr Duration kSample = 100'000;
+  std::uint64_t samples = 0, avail_part = 0, avail_primary = 0;
+  const Time end = world.simulator().now() + kRun;
+  while (world.simulator().now() < end) {
+    chaos.run_for(kSample);
+    for (std::size_t i = 0; i < kProcs; ++i) {
+      ++samples;
+      const lwg::LwgView* v = world.lwg(i).view_of(id);
+      if (v != nullptr) {
+        ++avail_part;
+        if (v->members.size() > kProcs / 2) ++avail_primary;
+      }
+    }
+  }
+  chaos.quiesce();
+  Availability out;
+  out.partitionable = 100.0 * static_cast<double>(avail_part) /
+                      static_cast<double>(samples);
+  out.primary_component = 100.0 * static_cast<double>(avail_primary) /
+                          static_cast<double>(samples);
+  out.partitions = chaos.partitions_injected();
+  return out;
+}
+
+}  // namespace
+}  // namespace plwg::bench
+
+int main() {
+  using namespace plwg;
+  using namespace plwg::bench;
+  std::printf("# Availability under partition churn: partitionable LWGs vs "
+              "a primary-component model (6 processes, 2 sim-minutes)\n");
+  metrics::Table table({"mean-partition-s", "seed", "partitions-injected",
+                        "partitionable-avail-pct", "primary-component-pct"});
+  for (Duration mean : {2'000'000, 8'000'000, 20'000'000}) {
+    for (std::uint64_t seed : {1ull, 2ull}) {
+      const Availability a = run_one(seed, mean);
+      table.add_row(
+          {metrics::Table::fmt(static_cast<double>(mean) / 1e6, 0),
+           std::to_string(seed), std::to_string(a.partitions),
+           metrics::Table::fmt(a.partitionable, 1),
+           metrics::Table::fmt(a.primary_component, 1)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nshape check: partitionable availability stays near 100%% "
+              "regardless of partition length; the primary-component model "
+              "loses the minority side for the partition's whole "
+              "duration.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Microbenchmarks (google-benchmark) for the building blocks on the hot
+// paths: codec, member-set algebra, the Fig. 1 policy predicates, and the
+// event loop.
+#include <benchmark/benchmark.h>
+
+#include "lwg/policy.hpp"
+#include "sim/simulator.hpp"
+#include "util/codec.hpp"
+#include "util/member_set.hpp"
+#include "util/rng.hpp"
+#include "vsync/messages.hpp"
+
+namespace plwg {
+namespace {
+
+void BM_CodecEncodeOrdered(benchmark::State& state) {
+  vsync::OrderedMsgWire wire;
+  wire.view = vsync::ViewId{ProcessId{3}, 7};
+  wire.msg.seq = 42;
+  wire.msg.origin = ProcessId{5};
+  wire.msg.sender_msg_id = 9;
+  wire.msg.payload.assign(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    Encoder enc;
+    wire.encode(enc);
+    benchmark::DoNotOptimize(enc.bytes().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.msg.payload.size()));
+}
+BENCHMARK(BM_CodecEncodeOrdered)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_CodecDecodeOrdered(benchmark::State& state) {
+  vsync::OrderedMsgWire wire;
+  wire.view = vsync::ViewId{ProcessId{3}, 7};
+  wire.msg.payload.assign(static_cast<std::size_t>(state.range(0)), 0xAB);
+  Encoder enc;
+  wire.encode(enc);
+  for (auto _ : state) {
+    Decoder dec(enc.bytes());
+    auto decoded = vsync::OrderedMsgWire::decode(dec);
+    benchmark::DoNotOptimize(decoded.msg.payload.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.msg.payload.size()));
+}
+BENCHMARK(BM_CodecDecodeOrdered)->Arg(64)->Arg(1024)->Arg(16384);
+
+MemberSet make_members(std::size_t n, std::uint32_t offset) {
+  MemberSet set;
+  for (std::uint32_t i = 0; i < n; ++i) set.insert(ProcessId{offset + i});
+  return set;
+}
+
+void BM_MemberSetIntersection(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const MemberSet a = make_members(n, 0);
+  const MemberSet b = make_members(n, static_cast<std::uint32_t>(n / 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersection_size(b));
+  }
+}
+BENCHMARK(BM_MemberSetIntersection)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_MemberSetUnion(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const MemberSet a = make_members(n, 0);
+  const MemberSet b = make_members(n, static_cast<std::uint32_t>(n / 2));
+  for (auto _ : state) {
+    MemberSet u = a.set_union(b);
+    benchmark::DoNotOptimize(u.members().data());
+  }
+}
+BENCHMARK(BM_MemberSetUnion)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_PolicyShareRule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const MemberSet a = make_members(n, 0);
+  const MemberSet b = make_members(n, static_cast<std::uint32_t>(n / 4));
+  const lwg::policy::PolicyParams params{4.0, 4.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lwg::policy::should_collapse(a, b, params));
+  }
+}
+BENCHMARK(BM_PolicyShareRule)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    constexpr int kEvents = 1000;
+    int fired = 0;
+    for (int i = 0; i < kEvents; ++i) {
+      sim.schedule_at(i, [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_RngNextBelow(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_below(1000));
+  }
+}
+BENCHMARK(BM_RngNextBelow);
+
+}  // namespace
+}  // namespace plwg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Paper Table 3 + Figure 3: inconsistent mappings made in two concurrent
+// partitions, and the merged naming-service database after reconciliation.
+//
+// Two LWGs (a and b) are created independently in partitions p = {0,1} and
+// p' = {2,3}; the sides make opposite mapping decisions. After healing, the
+// name servers reconcile and the merged database holds *both* view-to-view
+// mappings per LWG — exactly the state of Table 3. LWG-level reconciliation
+// is disabled here so the Table 3 state is stable and printable; the
+// bench_table4_evolution binary shows the full four-stage evolution.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/world.hpp"
+#include "lwg/lwg_user.hpp"
+
+namespace plwg::bench {
+namespace {
+
+class NullUser : public lwg::LwgUser {
+ public:
+  void on_lwg_view(LwgId, const lwg::LwgView&) override {}
+  void on_lwg_data(LwgId, ProcessId, std::span<const std::uint8_t>) override {}
+};
+
+}  // namespace
+}  // namespace plwg::bench
+
+int main() {
+  using namespace plwg;
+  using namespace plwg::bench;
+
+  harness::WorldConfig cfg;
+  cfg.num_processes = 4;
+  cfg.num_name_servers = 2;
+  cfg.lwg.reconcile_on_conflict = false;  // freeze the Table 3 state
+  harness::SimWorld world(cfg);
+  std::vector<NullUser> users(4);
+
+  std::printf("# Table 3 / Fig. 3: inconsistent mappings in concurrent "
+              "partitions and the merged NS database\n\n");
+
+  world.partition({{0, 1}, {2, 3}}, {0, 1});
+  const LwgId lwg_a{0xA};
+  const LwgId lwg_b{0xB};
+  for (std::size_t i = 0; i < 4; ++i) {
+    world.lwg(i).join(lwg_a, users[i]);
+    world.lwg(i).join(lwg_b, users[i]);
+  }
+  world.run_until(
+      [&] {
+        for (std::size_t i = 0; i < 4; ++i) {
+          for (LwgId id : {lwg_a, lwg_b}) {
+            const lwg::LwgView* v = world.lwg(i).view_of(id);
+            if (v == nullptr || v->members.size() != 2) return false;
+          }
+        }
+        return true;
+      },
+      60'000'000);
+  world.run_for(3'000'000);  // let ns.set traffic land
+
+  std::printf("-- partition p (server 0) --\n%s\n",
+              world.server(0).dump_database().c_str());
+  std::printf("-- partition p' (server 1) --\n%s\n",
+              world.server(1).dump_database().c_str());
+
+  const bool opposite =
+      *world.lwg(0).hwg_of(lwg_a) != *world.lwg(2).hwg_of(lwg_a) &&
+      *world.lwg(0).hwg_of(lwg_b) != *world.lwg(2).hwg_of(lwg_b);
+  std::printf("mappings diverged across partitions: %s\n\n",
+              opposite ? "yes" : "no");
+
+  world.heal();
+  world.run_until(
+      [&] {
+        for (std::size_t s = 0; s < 2; ++s) {
+          const auto& db = world.server(s).database();
+          for (LwgId id : {lwg_a, lwg_b}) {
+            auto it = db.records.find(id);
+            if (it == db.records.end()) return false;
+            if (it->second.entries.size() != 2) return false;
+          }
+        }
+        return true;
+      },
+      30'000'000);
+
+  std::printf("-- merged naming service (Table 3) --\n%s\n",
+              world.server(0).dump_database().c_str());
+  std::printf("conflicts detected: LWG a: %s, LWG b: %s\n",
+              world.server(0).database().records.at(lwg_a).has_conflict()
+                  ? "yes" : "no",
+              world.server(0).database().records.at(lwg_b).has_conflict()
+                  ? "yes" : "no");
+  std::printf("both replicas identical after reconciliation: %s\n",
+              world.server(0).dump_database() ==
+                      world.server(1).dump_database()
+                  ? "yes" : "no");
+  return 0;
+}

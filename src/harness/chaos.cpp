@@ -1,0 +1,86 @@
+#include "harness/chaos.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace plwg::harness {
+
+ChaosMonkey::ChaosMonkey(SimWorld& world, ChaosConfig config)
+    : world_(world), config_(config), rng_(config.seed) {
+  next_event_ = world_.simulator().now() +
+                static_cast<Duration>(
+                    rng_.next_exponential(
+                        static_cast<double>(config_.mean_interval_us)));
+}
+
+void ChaosMonkey::run_for(Duration us) {
+  const Time deadline = world_.simulator().now() + us;
+  while (world_.simulator().now() < deadline) {
+    if (next_event_ <= world_.simulator().now()) inject();
+    const Time step = std::min(deadline, next_event_);
+    if (step > world_.simulator().now()) {
+      world_.run_for(step - world_.simulator().now());
+    }
+  }
+}
+
+void ChaosMonkey::quiesce() {
+  if (partitioned_) {
+    world_.heal();
+    partitioned_ = false;
+  }
+  next_event_ = kTimeMax;
+}
+
+void ChaosMonkey::inject() {
+  if (partitioned_) {
+    world_.heal();
+    partitioned_ = false;
+  } else if (config_.crash_probability > 0 &&
+             crashed_.size() < config_.max_crashes &&
+             rng_.next_bool(config_.crash_probability)) {
+    // Crash a random not-yet-crashed process.
+    std::vector<std::size_t> alive;
+    for (std::size_t i = 0; i < world_.num_processes(); ++i) {
+      if (std::find(crashed_.begin(), crashed_.end(), i) == crashed_.end()) {
+        alive.push_back(i);
+      }
+    }
+    if (alive.size() > 1) {
+      const std::size_t victim =
+          alive[rng_.next_below(alive.size())];
+      world_.crash(victim);
+      crashed_.push_back(victim);
+      crashes_injected_++;
+    }
+  } else {
+    // Random two-way split over the *alive* processes; name server 0 goes
+    // left, the rest right (so each side usually keeps a server).
+    std::vector<std::size_t> left, right;
+    for (std::size_t i = 0; i < world_.num_processes(); ++i) {
+      if (std::find(crashed_.begin(), crashed_.end(), i) != crashed_.end()) {
+        // Crashed nodes must still be placed in some class.
+        right.push_back(i);
+        continue;
+      }
+      (rng_.next_bool(0.5) ? left : right).push_back(i);
+    }
+    if (!left.empty() && !right.empty()) {
+      std::vector<std::size_t> sides{0, 1};
+      world_.partition({left, right}, sides);
+      partitioned_ = true;
+      partitions_injected_++;
+    }
+  }
+  const Duration gap = partitioned_
+                           ? static_cast<Duration>(rng_.next_exponential(
+                                 static_cast<double>(
+                                     config_.mean_partition_us)))
+                           : static_cast<Duration>(rng_.next_exponential(
+                                 static_cast<double>(
+                                     config_.mean_interval_us)));
+  next_event_ = world_.simulator().now() + std::max<Duration>(gap, 100'000);
+}
+
+}  // namespace plwg::harness

@@ -1,0 +1,63 @@
+// ChaosMonkey: randomized fault injection against a SimWorld — partitions
+// of random shape and duration and (optionally) crashes — driven step by
+// step so tests and benches stay in control of time.
+//
+// Used by the soak tests and the availability experiment; deterministic
+// under a fixed seed like everything else in the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/world.hpp"
+#include "util/rng.hpp"
+
+namespace plwg::harness {
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  /// Mean time between fault events (exponential), microseconds.
+  Duration mean_interval_us = 5'000'000;
+  /// Mean duration of a partition before it heals, microseconds.
+  Duration mean_partition_us = 4'000'000;
+  /// Probability a fault event is a crash instead of a partition.
+  double crash_probability = 0.0;
+  /// Most crashes chaos will inject (keeps a majority alive).
+  std::size_t max_crashes = 0;
+};
+
+class ChaosMonkey {
+ public:
+  ChaosMonkey(SimWorld& world, ChaosConfig config);
+
+  /// Advance the world by `us`, injecting faults on the way.
+  void run_for(Duration us);
+
+  /// Heal any open partition and stop injecting (crashed nodes stay down).
+  void quiesce();
+
+  [[nodiscard]] std::size_t partitions_injected() const {
+    return partitions_injected_;
+  }
+  [[nodiscard]] std::size_t crashes_injected() const {
+    return crashes_injected_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& crashed() const {
+    return crashed_;
+  }
+  [[nodiscard]] bool partitioned() const { return partitioned_; }
+
+ private:
+  void inject();
+
+  SimWorld& world_;
+  ChaosConfig config_;
+  Rng rng_;
+  bool partitioned_ = false;
+  Time next_event_ = 0;
+  std::size_t partitions_injected_ = 0;
+  std::size_t crashes_injected_ = 0;
+  std::vector<std::size_t> crashed_;
+};
+
+}  // namespace plwg::harness

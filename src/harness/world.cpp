@@ -1,0 +1,176 @@
+#include "harness/world.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace plwg::harness {
+
+SimWorld::SimWorld(WorldConfig config) : config_(std::move(config)) {
+  Logger::instance().set_time_source([this] { return sim_.now(); });
+  net_ = std::make_unique<sim::Network>(sim_, config_.net);
+  const bool replicated =
+      config_.naming_mode == NamingMode::kReplicatedEverywhere;
+
+  // Create process nodes first so ProcessId i == node i == index i, then the
+  // name-server nodes (none in the replicated-everywhere deployment).
+  processes_.resize(config_.num_processes);
+  for (auto& p : processes_) {
+    p.runtime = std::make_unique<transport::NodeRuntime>(*net_);
+  }
+  servers_.resize(replicated ? 0 : config_.num_name_servers);
+  for (auto& s : servers_) {
+    s.runtime = std::make_unique<transport::NodeRuntime>(*net_);
+  }
+
+  std::vector<NodeId> server_nodes;
+  if (replicated) {
+    for (const auto& p : processes_) server_nodes.push_back(p.runtime->id());
+  } else {
+    for (const auto& s : servers_) server_nodes.push_back(s.runtime->id());
+  }
+
+  for (std::size_t j = 0; j < servers_.size(); ++j) {
+    auto& s = servers_[j];
+    s.naming = std::make_unique<names::NamingAgent>(*s.runtime, config_.naming,
+                                                    server_nodes);
+    std::vector<NodeId> peers;
+    for (std::size_t k = 0; k < server_nodes.size(); ++k) {
+      if (k != j) peers.push_back(server_nodes[k]);
+    }
+    s.naming->enable_server(std::move(peers));
+  }
+
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    auto& p = processes_[i];
+    // Rotate the fail-over order per process: spreads client load and gives
+    // each "LAN" a preferred local server. In the replicated deployment the
+    // rotation puts the process's own replica first: reads become local.
+    std::vector<NodeId> order = server_nodes;
+    if (!order.empty()) {
+      std::rotate(order.begin(), order.begin() + (i % order.size()),
+                  order.end());
+    }
+    p.vsync = std::make_unique<vsync::VsyncHost>(*p.runtime, config_.vsync);
+    p.naming = std::make_unique<names::NamingAgent>(*p.runtime, config_.naming,
+                                                    std::move(order));
+    if (replicated) {
+      std::vector<NodeId> peers;
+      for (std::size_t k = 0; k < server_nodes.size(); ++k) {
+        if (k != i) peers.push_back(server_nodes[k]);
+      }
+      p.naming->enable_server(std::move(peers));
+    }
+    p.lwg =
+        std::make_unique<lwg::LwgService>(*p.vsync, *p.naming, config_.lwg);
+  }
+
+  if (config_.segments.size() > 1) {
+    // Multi-LAN topology: processes per their configured segment; dedicated
+    // name server j joins LAN min(j, last).
+    std::vector<std::vector<NodeId>> node_segments(config_.segments.size());
+    std::vector<bool> placed(processes_.size(), false);
+    for (std::size_t k = 0; k < config_.segments.size(); ++k) {
+      for (std::size_t i : config_.segments[k]) {
+        PLWG_ASSERT(i < processes_.size());
+        node_segments[k].push_back(node(i));
+        placed[i] = true;
+      }
+    }
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+      PLWG_ASSERT_MSG(placed[i], "process missing from segments");
+    }
+    for (std::size_t j = 0; j < servers_.size(); ++j) {
+      node_segments[std::min(j, config_.segments.size() - 1)].push_back(
+          servers_[j].runtime->id());
+    }
+    net_->set_segments(node_segments, config_.wan);
+  }
+}
+
+SimWorld::~SimWorld() { Logger::instance().set_time_source(nullptr); }
+
+lwg::LwgService& SimWorld::lwg(std::size_t i) {
+  PLWG_ASSERT(i < processes_.size());
+  return *processes_[i].lwg;
+}
+
+vsync::VsyncHost& SimWorld::vsync(std::size_t i) {
+  PLWG_ASSERT(i < processes_.size());
+  return *processes_[i].vsync;
+}
+
+names::NamingAgent& SimWorld::naming(std::size_t i) {
+  PLWG_ASSERT(i < processes_.size());
+  return *processes_[i].naming;
+}
+
+ProcessId SimWorld::pid(std::size_t i) const {
+  PLWG_ASSERT(i < processes_.size());
+  return processes_[i].runtime->process_id();
+}
+
+NodeId SimWorld::node(std::size_t i) const {
+  PLWG_ASSERT(i < processes_.size());
+  return processes_[i].runtime->id();
+}
+
+NodeId SimWorld::server_node(std::size_t j) const {
+  if (config_.naming_mode == NamingMode::kReplicatedEverywhere) {
+    return node(j);  // every process node hosts a replica
+  }
+  PLWG_ASSERT(j < servers_.size());
+  return servers_[j].runtime->id();
+}
+
+names::NamingAgent& SimWorld::server(std::size_t j) {
+  if (config_.naming_mode == NamingMode::kReplicatedEverywhere) {
+    return naming(j);
+  }
+  PLWG_ASSERT(j < servers_.size());
+  return *servers_[j].naming;
+}
+
+void SimWorld::run_for(Duration us) { sim_.run_until(sim_.now() + us); }
+
+bool SimWorld::run_until(const std::function<bool()>& pred,
+                         Duration timeout_us) {
+  const Time deadline = sim_.now() + timeout_us;
+  constexpr Duration kStep = 10'000;  // 10 ms probes
+  while (sim_.now() < deadline) {
+    if (pred()) return true;
+    sim_.run_until(std::min(deadline, sim_.now() + kStep));
+  }
+  return pred();
+}
+
+void SimWorld::partition(const std::vector<std::vector<std::size_t>>& classes,
+                         const std::vector<std::size_t>& server_sides) {
+  std::vector<std::vector<NodeId>> node_classes(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    for (std::size_t i : classes[c]) node_classes[c].push_back(node(i));
+  }
+  for (std::size_t j = 0; j < servers_.size(); ++j) {
+    const std::size_t side = j < server_sides.size() ? server_sides[j] : 0;
+    PLWG_ASSERT(side < node_classes.size());
+    node_classes[side].push_back(server_node(j));
+  }
+  net_->set_partitions(node_classes);
+}
+
+void SimWorld::heal() { net_->heal(); }
+
+void SimWorld::crash(std::size_t i) { net_->crash(node(i)); }
+
+void SimWorld::cut_wan() {
+  PLWG_ASSERT_MSG(config_.segments.size() > 1,
+                  "cut_wan needs a multi-LAN WorldConfig");
+  std::vector<std::size_t> server_sides;
+  for (std::size_t j = 0; j < servers_.size(); ++j) {
+    server_sides.push_back(std::min(j, config_.segments.size() - 1));
+  }
+  partition(config_.segments, server_sides);
+}
+
+}  // namespace plwg::harness

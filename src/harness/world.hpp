@@ -1,0 +1,105 @@
+// SimWorld: wires a complete simulated deployment — N application processes
+// (each a NodeRuntime + VsyncHost + NamingAgent + LwgService) plus M
+// dedicated name-server nodes on one simulated network — and exposes the
+// knobs the experiments turn: partitions, crashes, and time.
+//
+// Tests, benchmarks, and examples all build on this harness.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "lwg/lwg_service.hpp"
+#include "names/naming_agent.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "transport/node_runtime.hpp"
+#include "vsync/vsync_host.hpp"
+
+namespace plwg::harness {
+
+enum class NamingMode {
+  /// Dedicated name-server nodes (`num_name_servers` of them) — the
+  /// deployment the paper's Sect. 5.2 describes (one per LAN/AS).
+  kDedicatedServers,
+  /// The alternative from paper Sect. 3.1: "replicate the naming service at
+  /// every process, making updates expensive but read operations purely
+  /// local". Every process node doubles as a server and prefers itself.
+  kReplicatedEverywhere,
+};
+
+struct WorldConfig {
+  std::size_t num_processes = 8;
+  std::size_t num_name_servers = 1;
+  NamingMode naming_mode = NamingMode::kDedicatedServers;
+  sim::NetworkConfig net;
+  vsync::VsyncConfig vsync;
+  names::NamingConfig naming;
+  lwg::LwgConfig lwg;
+  /// Multi-LAN topology: segments[k] lists the *process indexes* on LAN k
+  /// (empty = single LAN). Dedicated name server j is placed on LAN
+  /// `min(j, segments-1)` — "a server on each local area network"
+  /// (paper Sect. 5.2).
+  std::vector<std::vector<std::size_t>> segments;
+  sim::WanConfig wan;
+};
+
+class SimWorld {
+ public:
+  explicit SimWorld(WorldConfig config);
+  ~SimWorld();
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::Network& network() { return *net_; }
+  [[nodiscard]] std::size_t num_processes() const { return processes_.size(); }
+
+  [[nodiscard]] lwg::LwgService& lwg(std::size_t i);
+  [[nodiscard]] vsync::VsyncHost& vsync(std::size_t i);
+  [[nodiscard]] names::NamingAgent& naming(std::size_t i);
+  [[nodiscard]] ProcessId pid(std::size_t i) const;
+  [[nodiscard]] NodeId node(std::size_t i) const;
+  /// The node of name server `j` (0-based).
+  [[nodiscard]] NodeId server_node(std::size_t j) const;
+  [[nodiscard]] names::NamingAgent& server(std::size_t j);
+
+  /// Advance simulated time by `us`.
+  void run_for(Duration us);
+  /// Step until `pred()` holds or `timeout_us` elapses; returns success.
+  bool run_until(const std::function<bool()>& pred, Duration timeout_us);
+
+  /// Partition the world: each inner vector lists *process indexes*; every
+  /// process must appear exactly once. Name servers are assigned to the
+  /// classes listed in `server_sides` (server j joins the class at
+  /// server_sides[j]; defaults to class 0).
+  void partition(const std::vector<std::vector<std::size_t>>& classes,
+                 const std::vector<std::size_t>& server_sides = {});
+  void heal();
+  void crash(std::size_t i);
+
+  /// Cut the WAN: partition the world along its configured LAN segments
+  /// (requires a multi-LAN WorldConfig::segments). heal() reconnects.
+  void cut_wan();
+
+ private:
+  struct ProcessNode {
+    std::unique_ptr<transport::NodeRuntime> runtime;
+    std::unique_ptr<vsync::VsyncHost> vsync;
+    std::unique_ptr<names::NamingAgent> naming;
+    std::unique_ptr<lwg::LwgService> lwg;
+  };
+  struct ServerNode {
+    std::unique_ptr<transport::NodeRuntime> runtime;
+    std::unique_ptr<names::NamingAgent> naming;
+  };
+
+  WorldConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Network> net_;
+  std::vector<ProcessNode> processes_;
+  std::vector<ServerNode> servers_;
+};
+
+}  // namespace plwg::harness

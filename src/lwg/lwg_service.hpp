@@ -1,0 +1,240 @@
+// LwgService — the paper's light-weight group service, partitionable
+// edition, plus (via MappingMode) the two baselines of the Fig. 2
+// evaluation.
+//
+// Responsibilities (paper Sect. 3):
+//   (i)   preserve the virtually synchronous Table 1 interface per LWG while
+//         multiplexing many LWGs onto few HWGs;
+//   (ii)  mapping & switching policies (Fig. 1 share / interference / shrink
+//         rules with parameters k_m, k_c, run periodically, enacted only by
+//         each LWG's coordinator);
+//   (iii) the switching protocol that re-maps an LWG between HWGs at run
+//         time (with forward pointers for stale naming-service readers).
+//
+// Partitionable extensions (paper Sects. 4-6):
+//   Step 1  global peer discovery — the naming service pushes
+//           MULTIPLE-MAPPINGS callbacks after reconciling its replicas;
+//   Step 2  mapping reconciliation — coordinators of concurrent LWG views
+//           switch deterministically to the HWG with the highest group id;
+//   Step 3  local peer discovery — DATA carries the sender's LWG view id;
+//           a message for a concurrent view of a local group (or a view
+//           announce after an HWG merge) reveals the co-mapped peer view;
+//   Step 4  merge-views — one HWG flush merges all concurrent LWG views
+//           mapped on that HWG at once, deterministically (Fig. 5).
+//
+// Protocol-design note: the HWG layer delivers totally ordered multicasts,
+// so every LWG control message (JOIN/LEAVE/VIEW/SWITCH) is itself the flush
+// barrier for the view it closes — data sent in an LWG view is ordered
+// before the message that ends the view.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "lwg/config.hpp"
+#include "lwg/lwg_user.hpp"
+#include "lwg/lwg_view.hpp"
+#include "lwg/messages.hpp"
+#include "lwg/policy.hpp"
+#include "names/naming_agent.hpp"
+#include "util/types.hpp"
+#include "vsync/vsync_host.hpp"
+
+namespace plwg::lwg {
+
+class LwgService : public GroupService,
+                   public vsync::GroupUser,
+                   public names::ConflictListener {
+ public:
+  struct Stats {
+    std::uint64_t lwg_views_installed = 0;
+    std::uint64_t data_sent = 0;
+    std::uint64_t data_delivered = 0;
+    std::uint64_t data_filtered = 0;    // traffic for LWGs without a local member
+    std::uint64_t switches_started = 0;
+    std::uint64_t switches_completed = 0;
+    std::uint64_t merges_triggered = 0; // MERGE-VIEWS rounds initiated here
+    std::uint64_t lwg_merges = 0;       // concurrent LWG views folded locally
+    std::uint64_t conflict_callbacks = 0;
+    std::uint64_t hwgs_created = 0;
+    std::uint64_t hwgs_left = 0;        // shrink rule departures
+  };
+
+  LwgService(vsync::VsyncHost& vsync, names::NamingAgent& names,
+             LwgConfig config);
+  ~LwgService() override;
+  LwgService(const LwgService&) = delete;
+  LwgService& operator=(const LwgService&) = delete;
+
+  // --- GroupService (user downcalls) -------------------------------------
+  void join(LwgId lwg, LwgUser& user) override;
+  void leave(LwgId lwg) override;
+  void send(LwgId lwg, std::vector<std::uint8_t> data) override;
+
+  /// Graceful departure from every joined LWG (and, via the shrink rule,
+  /// from the underlying HWGs). The inverse of a crash: peers see clean
+  /// leave views instead of failure detection.
+  void shutdown();
+
+  // --- introspection ------------------------------------------------------
+  [[nodiscard]] ProcessId self() const { return vsync_.self(); }
+  [[nodiscard]] const LwgView* view_of(LwgId lwg) const;
+  [[nodiscard]] std::optional<HwgId> hwg_of(LwgId lwg) const;
+  [[nodiscard]] std::vector<LwgId> local_groups() const;
+  [[nodiscard]] std::vector<HwgId> member_hwgs() const {
+    return vsync_.groups();
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const LwgConfig& config() const { return config_; }
+
+  /// Run the Fig. 1 heuristics immediately (tests/benches; normally they run
+  /// every policy_period_us).
+  void run_policies();
+
+  /// Human-readable snapshot of the service state (groups, phases, views,
+  /// mappings, forward pointers) for logging and operational debugging.
+  [[nodiscard]] std::string debug_dump() const;
+
+  // --- vsync::GroupUser (HWG upcalls) -------------------------------------
+  void on_view(HwgId gid, const vsync::View& view) override;
+  void on_data(HwgId gid, ProcessId src,
+               std::span<const std::uint8_t> data) override;
+  void on_stop(HwgId gid) override;
+
+  // --- names::ConflictListener (Step 1 callback) ---------------------------
+  void on_multiple_mappings(
+      LwgId lwg, const std::vector<names::MappingEntry>& entries) override;
+
+ private:
+  enum class Phase {
+    kResolving,   // naming-service lookup in flight
+    kJoiningHwg,  // joining the mapped HWG
+    kAnnounced,   // LWG JOIN multicast on the HWG, awaiting an LWG view
+    kActive,
+    kLeaving,     // LEAVE multicast, awaiting the view that excludes us
+  };
+
+  struct SwitchCollect {   // coordinator side of the switch protocol
+    HwgId to_hwg;
+    MemberSet contacts;
+    ViewId old_view;
+    MemberSet ready;
+  };
+
+  struct LocalGroup {
+    LwgId lwg;
+    LwgUser* user = nullptr;
+    Phase phase = Phase::kResolving;
+    Time phase_since = 0;
+    int announce_attempts = 0;
+    HwgId hwg;               // current mapping (valid from kJoiningHwg on)
+    MemberSet contacts;      // HWG join contacts
+    bool has_view = false;
+    LwgView view;
+    std::set<ViewId> ancestors;  // our own view history (stale filtering)
+    std::uint64_t ns_stamp = 0;
+    std::vector<ViewId> stale_views;  // superseded if we re-map from scratch
+    // Member side of an in-progress switch: sends freeze until the view on
+    // the target HWG installs.
+    std::optional<SwitchMsg> switching;
+    Time switching_since = 0;
+    // Coordinator side.
+    std::optional<SwitchCollect> collect;
+    std::deque<std::vector<std::uint8_t>> queued_sends;
+    // Membership changes requested via JOIN/LEAVE messages. Every member
+    // tracks them (the coordinator may change); the current coordinator
+    // folds them into the next view, one in-flight view at a time — this is
+    // what keeps concurrent joins/leaves from minting sibling views off the
+    // same predecessor.
+    MemberSet pending_add;
+    MemberSet pending_remove;
+    std::optional<ViewId> inflight_view;
+    Time inflight_since = 0;
+  };
+
+  struct HwgState {
+    HwgId gid;
+    /// Forward pointers left behind by switches (paper Sect. 3.1).
+    std::map<LwgId, std::pair<HwgId, MemberSet>> forwards;
+    /// Merge-views round state (paper Fig. 5): AV_p(hwg), with each
+    /// collected view's advertised ancestry.
+    struct CollectedView {
+      LwgView view;
+      std::set<ViewId> ancestors;
+    };
+    bool merge_requested = false;
+    Time merge_requested_since = 0;
+    std::map<LwgId, std::map<ViewId, CollectedView>> all_views;
+    Time no_local_lwg_since = -1;  // shrink rule timer
+  };
+
+  // -- lwg_service.cpp: core plumbing --
+  void set_phase(LocalGroup& lg, Phase phase);
+  [[nodiscard]] LocalGroup* find_group(LwgId lwg);
+  [[nodiscard]] HwgState& hwg_state(HwgId gid);
+  void send_lwg_msg(HwgId hwg, LwgMsgType type, const Encoder& body);
+  [[nodiscard]] ViewId mint_view_id();
+  void tick();
+  void install_lwg_view(LocalGroup& lg, const LwgView& view,
+                        const std::vector<ViewId>& predecessors);
+  void finalize_leave(LwgId lwg);
+  void drain_queued_sends(LocalGroup& lg);
+  [[nodiscard]] std::vector<LwgViewInfo> local_views_on(HwgId gid) const;
+  [[nodiscard]] names::MappingEntry make_entry(const LocalGroup& lg,
+                                               std::uint64_t stamp) const;
+  void ns_register(LocalGroup& lg, const std::vector<ViewId>& predecessors);
+
+  // -- lwg_service_map.cpp: mapping, joins, switching, reconciliation --
+  void resolve_mapping(LwgId lwg);
+  void on_mapping_read(LwgId lwg, const std::vector<names::MappingEntry>& entries);
+  void establish_new_mapping(LocalGroup& lg);
+  void adopt_mapping(LocalGroup& lg, const names::MappingEntry& entry);
+  void announce_join(LocalGroup& lg);
+  void start_switch(LocalGroup& lg, HwgId to_hwg, const MemberSet& contacts);
+  void abort_switch(LocalGroup& lg);
+  void handle_join(HwgId gid, const JoinMsg& msg);
+  void handle_leave(HwgId gid, const LeaveMsg& msg);
+  void handle_view(HwgId gid, const ViewMsg& msg);
+  void handle_switch(HwgId gid, const SwitchMsg& msg);
+  void handle_switch_ready(HwgId gid, const SwitchReadyMsg& msg);
+  void handle_switched(HwgId gid, const SwitchedMsg& msg);
+  void handle_redirect(HwgId gid, const RedirectMsg& msg);
+  void handle_data(HwgId gid, ProcessId src, const DataMsg& msg);
+  void maybe_send_switch_ready(LocalGroup& lg);
+  /// Coordinator: fold pending adds/removes into the next LWG view if no
+  /// view installation is already in flight.
+  void maybe_install_next_view(LocalGroup& lg);
+
+  // -- lwg_service_merge.cpp: hwg view changes + merge-views (Fig. 5) --
+  void trigger_merge_views(HwgId gid);
+  void handle_merge_views(HwgId gid);
+  void handle_all_views(HwgId gid, const AllViewsMsg& msg);
+  void handle_announce(HwgId gid, const AnnounceMsg& msg);
+  void process_pending_merges(HwgId gid, const vsync::View& new_hwg_view);
+  void handle_hwg_membership_change(HwgId gid, const vsync::View& new_view);
+
+  // -- lwg_service_policy.cpp: Fig. 1 rules --
+  void run_share_rule();
+  void run_interference_rule();
+  void run_shrink_rule();
+  [[nodiscard]] std::vector<policy::HwgCandidate> hwg_candidates() const;
+  [[nodiscard]] std::size_t lwgs_using_hwg(HwgId gid) const;
+
+  vsync::VsyncHost& vsync_;
+  names::NamingAgent& names_;
+  LwgConfig config_;
+  std::map<LwgId, LocalGroup> groups_;
+  std::map<HwgId, HwgState> hwgs_;
+  /// A freshly allocated HWG id whose creation is deferred until a testset
+  /// win; concurrent establishes reuse it so simultaneous group creations
+  /// at one process land on one HWG instead of one each.
+  std::optional<HwgId> provisional_hwg_;
+  std::uint32_t lwg_view_counter_ = 0;
+  Time last_policy_run_ = 0;
+  Stats stats_;
+};
+
+}  // namespace plwg::lwg

@@ -1,0 +1,460 @@
+// LwgService mapping machinery: naming-service resolution, optimistic
+// initial mapping, the join/leave protocols, the run-time switching protocol
+// (paper Sect. 3.1) and the deterministic mapping reconciliation of
+// partition healing Step 2 (paper Sect. 6.2).
+#include <algorithm>
+
+#include "lwg/lwg_service.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace plwg::lwg {
+
+namespace {
+
+/// Deterministic choice among several alive mappings: the entry whose HWG
+/// has the highest group id (same rule as conflict reconciliation, so a
+/// joiner landing mid-conflict heads where everyone will converge).
+const names::MappingEntry* pick_entry(
+    const std::vector<names::MappingEntry>& entries) {
+  const names::MappingEntry* best = nullptr;
+  for (const names::MappingEntry& e : entries) {
+    if (best == nullptr || e.hwg > best->hwg ||
+        (e.hwg == best->hwg && e.stamp > best->stamp)) {
+      best = &e;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void LwgService::resolve_mapping(LwgId lwg) {
+  names_.read(lwg, [this](LwgId id,
+                          const std::vector<names::MappingEntry>& entries) {
+    on_mapping_read(id, entries);
+  });
+}
+
+void LwgService::on_mapping_read(
+    LwgId lwg, const std::vector<names::MappingEntry>& entries) {
+  LocalGroup* lg = find_group(lwg);
+  if (lg == nullptr || lg->phase != Phase::kResolving) return;  // stale reply
+  for (const names::MappingEntry& e : entries) {
+    lg->stale_views.push_back(e.lwg_view);
+  }
+  const names::MappingEntry* entry = pick_entry(entries);
+  if (entry == nullptr) {
+    establish_new_mapping(*lg);
+  } else {
+    adopt_mapping(*lg, *entry);
+  }
+}
+
+void LwgService::establish_new_mapping(LocalGroup& lg) {
+  // Optimistic initial mapping (paper Sect. 3.2): assume the new LWG will
+  // resemble an existing one, so put it on an HWG we already belong to —
+  // the smallest one (least interference), ties broken by highest gid.
+  // The interference rule corrects bad guesses later.
+  HwgId target;
+  bool create_if_won = false;  // defer creation until the testset is won
+  switch (config_.mode) {
+    case MappingMode::kDynamic: {
+      const vsync::View* best = nullptr;
+      for (HwgId gid : vsync_.groups()) {
+        const vsync::View* v = vsync_.view_of(gid);
+        if (v == nullptr) continue;
+        if (best == nullptr || v->members.size() < best->members.size() ||
+            (v->members.size() == best->members.size() && gid > target)) {
+          best = v;
+          target = gid;
+        }
+      }
+      if (best == nullptr) {
+        if (provisional_hwg_ && !vsync_.is_member(*provisional_hwg_)) {
+          target = *provisional_hwg_;
+        } else {
+          target = vsync_.allocate_group_id();
+          provisional_hwg_ = target;
+        }
+        create_if_won = true;
+      }
+      break;
+    }
+    case MappingMode::kStaticSingle: {
+      target = config_.static_hwg;
+      if (!vsync_.is_member(target)) {
+        if (config_.static_contacts.empty() ||
+            config_.static_contacts.min_member() == self()) {
+          vsync_.create_group(target, *this);
+          stats_.hwgs_created++;
+        } else {
+          lg.hwg = target;
+          lg.contacts = config_.static_contacts;
+          set_phase(lg, Phase::kJoiningHwg);
+          vsync_.join_group(target, lg.contacts, *this);
+          return;  // optimistic claim happens once the HWG view arrives
+        }
+      }
+      break;
+    }
+    case MappingMode::kPerGroup: {
+      target = vsync_.allocate_group_id();
+      create_if_won = true;
+      break;
+    }
+  }
+
+  lg.hwg = target;
+  // Claim the mapping: testset installs our singleton view unless someone
+  // beat us to it, in which case we adopt the winner.
+  LwgView provisional;
+  provisional.id = mint_view_id();
+  provisional.members = MemberSet{self()};
+  provisional.hwg = target;
+  lg.view = provisional;  // staged so make_entry sees it; has_view still false
+  names::MappingEntry entry = make_entry(lg, ++lg.ns_stamp);
+  names_.testset(
+      lg.lwg, entry,
+      [this, claimed = provisional.id, create_if_won, target](
+          LwgId id, const std::vector<names::MappingEntry>& entries) {
+        LocalGroup* g = find_group(id);
+        if (g == nullptr || g->has_view) return;
+        const names::MappingEntry* winner = pick_entry(entries);
+        if (winner == nullptr) return;  // server wiped? retried by tick
+        if (winner->lwg_view == claimed) {
+          // We founded the LWG; found its HWG too if it was provisional.
+          if (create_if_won && !vsync_.is_member(target)) {
+            vsync_.create_group(target, *this);
+            stats_.hwgs_created++;
+            if (provisional_hwg_ == target) provisional_hwg_.reset();
+          }
+          std::vector<ViewId> preds = g->stale_views;
+          g->stale_views.clear();
+          install_lwg_view(*g, g->view, preds);
+          // A locally-won founder view is invisible to HWG peers until a
+          // message flows; announce it so a concurrent founder that claimed
+          // the same HWG through another name server is discovered (local
+          // peer discovery, Step 3).
+          if (g->has_view && vsync_.is_member(g->hwg)) {
+            AnnounceMsg announce{{LwgViewInfo{g->lwg, g->view, {}}}};
+            Encoder body;
+            announce.encode(body);
+            send_lwg_msg(g->hwg, LwgMsgType::kAnnounce, body);
+          }
+        } else {
+          adopt_mapping(*g, *winner);
+        }
+      });
+}
+
+void LwgService::adopt_mapping(LocalGroup& lg,
+                               const names::MappingEntry& entry) {
+  lg.hwg = entry.hwg;
+  lg.contacts = entry.hwg_members.set_union(entry.lwg_members);
+  lg.contacts.erase(self());
+  if (vsync_.is_member(lg.hwg)) {
+    if (vsync_.view_of(lg.hwg) != nullptr) {
+      announce_join(lg);
+    } else {
+      set_phase(lg, Phase::kJoiningHwg);  // endpoint still joining
+    }
+    return;
+  }
+  if (lg.contacts.empty()) {
+    // A mapping with no one to contact (e.g. a dissolved group's tombstone):
+    // start over with a fresh mapping.
+    establish_new_mapping(lg);
+    return;
+  }
+  set_phase(lg, Phase::kJoiningHwg);
+  vsync_.join_group(lg.hwg, lg.contacts, *this);
+}
+
+void LwgService::announce_join(LocalGroup& lg) {
+  set_phase(lg, Phase::kAnnounced);
+  lg.announce_attempts++;
+  Encoder body;
+  JoinMsg{lg.lwg, self()}.encode(body);
+  send_lwg_msg(lg.hwg, LwgMsgType::kJoin, body);
+}
+
+void LwgService::handle_join(HwgId gid, const JoinMsg& msg) {
+  LocalGroup* lg = find_group(msg.lwg);
+  if (lg == nullptr || !lg->has_view || lg->hwg != gid) {
+    // Not in this LWG here. If we hold a forward pointer, redirect the
+    // stale joiner (the smallest HWG member answers to avoid duplicates).
+    HwgState& hs = hwg_state(gid);
+    auto fwd = hs.forwards.find(msg.lwg);
+    if (fwd == hs.forwards.end()) return;
+    const vsync::View* hv = vsync_.view_of(gid);
+    if (hv == nullptr || hv->coordinator() != self()) return;
+    RedirectMsg redirect{msg.lwg, msg.joiner, fwd->second.first,
+                         fwd->second.second};
+    Encoder body;
+    redirect.encode(body);
+    send_lwg_msg(gid, LwgMsgType::kRedirect, body);
+    return;
+  }
+  if (lg->view.members.contains(msg.joiner) &&
+      !lg->pending_remove.contains(msg.joiner)) {
+    if (lg->view.coordinator() == self()) {
+      // Duplicate announce: re-publish the current view for the joiner.
+      ViewMsg vm{lg->lwg, lg->view, {}};
+      Encoder body;
+      vm.encode(body);
+      send_lwg_msg(gid, LwgMsgType::kView, body);
+    }
+    return;
+  }
+  // Every member tracks the request; the current coordinator acts on it.
+  lg->pending_add.insert(msg.joiner);
+  lg->pending_remove.erase(msg.joiner);
+  maybe_install_next_view(*lg);
+}
+
+void LwgService::handle_leave(HwgId gid, const LeaveMsg& msg) {
+  LocalGroup* lg = find_group(msg.lwg);
+  if (lg == nullptr || !lg->has_view || lg->hwg != gid) return;
+  if (!lg->view.members.contains(msg.leaver) &&
+      !lg->pending_add.contains(msg.leaver)) {
+    return;
+  }
+  lg->pending_remove.insert(msg.leaver);
+  lg->pending_add.erase(msg.leaver);
+  if (lg->view.members.is_subset_of(lg->pending_remove)) {
+    // Every member is leaving: the group dissolves. The total order makes
+    // this the same decision at every member; the coordinator tombstones
+    // the naming-service record.
+    if (lg->view.coordinator() == self()) {
+      lg->stale_views.push_back(lg->view.id);
+      names::MappingEntry entry = make_entry(*lg, ++lg->ns_stamp);
+      entry.lwg_members = MemberSet{};
+      names_.set(lg->lwg, entry, {lg->view.id});
+    }
+    finalize_leave(msg.lwg);
+    return;
+  }
+  maybe_install_next_view(*lg);
+}
+
+void LwgService::maybe_install_next_view(LocalGroup& lg) {
+  if (!lg.has_view || lg.view.coordinator() != self()) return;
+  if (lg.switching || lg.collect) return;  // the switch moves the view first
+  if (lg.inflight_view) return;            // one installation at a time
+  MemberSet next = lg.view.members.set_union(lg.pending_add)
+                       .set_difference(lg.pending_remove);
+  if (next == lg.view.members || next.empty()) return;
+  LwgView view;
+  view.id = mint_view_id();
+  view.members = next;
+  view.hwg = lg.hwg;
+  lg.inflight_view = view.id;
+  lg.inflight_since = vsync_.node().now();
+  ViewMsg vm{lg.lwg, view, {lg.view.id}};
+  Encoder body;
+  vm.encode(body);
+  send_lwg_msg(lg.hwg, LwgMsgType::kView, body);
+}
+
+void LwgService::handle_view(HwgId gid, const ViewMsg& msg) {
+  LocalGroup* lg = find_group(msg.lwg);
+  if (lg == nullptr) return;
+  const LwgView& view = msg.view;
+  PLWG_ASSERT(view.hwg == gid);
+
+  if (!view.members.contains(self())) {
+    if (!lg->has_view) return;
+    const bool succeeds_mine =
+        std::find(msg.predecessors.begin(), msg.predecessors.end(),
+                  lg->view.id) != msg.predecessors.end();
+    if (lg->phase == Phase::kLeaving && succeeds_mine) {
+      finalize_leave(msg.lwg);
+      return;
+    }
+    if (succeeds_mine) {
+      // A successor view dropped us without a leave request (we were
+      // unreachable during its installation): re-resolve from scratch.
+      lg->stale_views.push_back(lg->view.id);
+      lg->has_view = false;
+      set_phase(*lg, Phase::kResolving);
+      resolve_mapping(msg.lwg);
+      return;
+    }
+    if (lg->hwg == gid && !lg->switching &&
+        !lg->ancestors.contains(view.id)) {
+      // A concurrent view of our group surfaced on our own HWG (e.g. it
+      // just switched here during reconciliation Step 2): local peer
+      // discovery, Step 3.
+      trigger_merge_views(gid);
+    }
+    return;
+  }
+
+  if (!lg->has_view) {
+    // Joiner: first view that includes us.
+    if (lg->phase == Phase::kAnnounced || lg->phase == Phase::kJoiningHwg) {
+      std::vector<ViewId> preds = msg.predecessors;
+      preds.insert(preds.end(), lg->stale_views.begin(),
+                   lg->stale_views.end());
+      lg->stale_views.clear();
+      install_lwg_view(*lg, view, preds);
+    }
+    return;
+  }
+
+  if (view.id == lg->view.id) return;  // duplicate re-publish
+  const bool succeeds_ours =
+      std::find(msg.predecessors.begin(), msg.predecessors.end(),
+                lg->view.id) != msg.predecessors.end();
+  if (succeeds_ours) {
+    install_lwg_view(*lg, view, msg.predecessors);
+    return;
+  }
+  if (lg->ancestors.contains(view.id)) return;  // stale holder re-publish
+  // Concurrent LWG view on our own HWG: local peer discovery (Step 3).
+  trigger_merge_views(gid);
+}
+
+// --- switching ----------------------------------------------------------------
+
+void LwgService::start_switch(LocalGroup& lg, HwgId to_hwg,
+                              const MemberSet& contacts) {
+  PLWG_ASSERT(lg.has_view && lg.view.coordinator() == self());
+  if (lg.switching || lg.collect) return;
+  if (to_hwg == lg.hwg) return;
+  stats_.switches_started++;
+  PLWG_INFO("lwg", "p", self(), " switching lwg ", lg.lwg, " from hwg ",
+            lg.hwg, " to hwg ", to_hwg);
+  lg.collect = SwitchCollect{to_hwg, contacts, lg.view.id, MemberSet{}};
+  SwitchMsg msg{lg.lwg, lg.view.id, to_hwg, contacts};
+  Encoder body;
+  msg.encode(body);
+  send_lwg_msg(lg.hwg, LwgMsgType::kSwitch, body);
+}
+
+void LwgService::handle_switch(HwgId gid, const SwitchMsg& msg) {
+  LocalGroup* lg = find_group(msg.lwg);
+  if (lg == nullptr || !lg->has_view || lg->hwg != gid) return;
+  if (lg->view.id != msg.lwg_view) return;  // switch of a superseded view
+  // The totally-ordered SWITCH is the flush barrier of the old view: all
+  // DATA ordered before it has been delivered; we stop sending until the
+  // view on the target HWG installs.
+  lg->switching = msg;
+  lg->switching_since = vsync_.node().now();
+  if (!vsync_.is_member(msg.to_hwg)) {
+    MemberSet contacts = msg.contacts;
+    contacts.erase(self());
+    if (contacts.empty()) {
+      // We must found the target HWG (interference rule's fresh group).
+      vsync_.create_group(msg.to_hwg, *this);
+      stats_.hwgs_created++;
+    } else {
+      vsync_.join_group(msg.to_hwg, contacts, *this);
+    }
+  }
+  maybe_send_switch_ready(*lg);
+}
+
+void LwgService::maybe_send_switch_ready(LocalGroup& lg) {
+  if (!lg.switching) return;
+  const HwgId target = lg.switching->to_hwg;
+  if (vsync_.view_of(target) == nullptr) return;  // still joining
+  SwitchReadyMsg ready{lg.lwg, lg.switching->lwg_view, self()};
+  Encoder body;
+  ready.encode(body);
+  send_lwg_msg(target, LwgMsgType::kSwitchReady, body);
+}
+
+void LwgService::handle_switch_ready(HwgId gid, const SwitchReadyMsg& msg) {
+  LocalGroup* lg = find_group(msg.lwg);
+  if (lg == nullptr || !lg->collect) return;
+  SwitchCollect& c = *lg->collect;
+  if (c.to_hwg != gid || c.old_view != msg.lwg_view) return;
+  c.ready.insert(msg.member);
+  if (!lg->view.members.is_subset_of(c.ready)) return;
+  // Everyone arrived: install the view on the new HWG and leave a forward
+  // pointer on the old one.
+  stats_.switches_completed++;
+  LwgView next;
+  next.id = mint_view_id();
+  next.members = lg->view.members;
+  next.hwg = c.to_hwg;
+  ViewMsg vm{lg->lwg, next, {lg->view.id}};
+  Encoder vbody;
+  vm.encode(vbody);
+  send_lwg_msg(c.to_hwg, LwgMsgType::kView, vbody);
+
+  SwitchedMsg switched{lg->lwg, c.to_hwg, next.members};
+  Encoder sbody;
+  switched.encode(sbody);
+  const HwgId old_hwg = lg->hwg;
+  if (old_hwg != c.to_hwg && vsync_.is_member(old_hwg)) {
+    send_lwg_msg(old_hwg, LwgMsgType::kSwitched, sbody);
+  }
+}
+
+void LwgService::handle_switched(HwgId gid, const SwitchedMsg& msg) {
+  // Forward pointer for stale naming-service readers (paper Sect. 3.1).
+  hwg_state(gid).forwards[msg.lwg] = {msg.to_hwg, msg.contacts};
+}
+
+void LwgService::handle_redirect(HwgId gid, const RedirectMsg& msg) {
+  (void)gid;
+  if (msg.joiner != self()) return;
+  LocalGroup* lg = find_group(msg.lwg);
+  if (lg == nullptr || lg->has_view) return;
+  if (lg->phase != Phase::kAnnounced && lg->phase != Phase::kJoiningHwg) return;
+  names::MappingEntry entry;
+  entry.hwg = msg.to_hwg;
+  entry.hwg_members = msg.contacts;
+  PLWG_DEBUG("lwg", "p", self(), " redirected: lwg ", msg.lwg, " lives on ",
+             msg.to_hwg);
+  adopt_mapping(*lg, entry);
+}
+
+void LwgService::abort_switch(LocalGroup& lg) {
+  PLWG_INFO("lwg", "p", self(), " aborting switch of lwg ", lg.lwg);
+  lg.switching.reset();
+  lg.collect.reset();
+  drain_queued_sends(lg);
+}
+
+void LwgService::handle_data(HwgId gid, ProcessId src, const DataMsg& msg) {
+  LocalGroup* lg = find_group(msg.lwg);
+  if (lg == nullptr || !lg->has_view || lg->hwg != gid) {
+    stats_.data_filtered++;  // interference: traffic we only pay to discard
+    return;
+  }
+  if (msg.lwg_view == lg->view.id) {
+    stats_.data_delivered++;
+    lg->user->on_lwg_data(msg.lwg, src, msg.payload);
+    return;
+  }
+  if (lg->ancestors.contains(msg.lwg_view)) return;  // late, superseded
+  // DATA for a concurrent view of a group we are in: local peer discovery
+  // (paper Fig. 5 lines 103-107).
+  trigger_merge_views(gid);
+}
+
+// --- reconciliation Step 2 (paper Sect. 6.2) -----------------------------------
+
+void LwgService::on_multiple_mappings(
+    LwgId lwg, const std::vector<names::MappingEntry>& entries) {
+  stats_.conflict_callbacks++;
+  if (!config_.reconcile_on_conflict) return;
+  LocalGroup* lg = find_group(lwg);
+  if (lg == nullptr || !lg->has_view || lg->phase != Phase::kActive) return;
+  if (lg->view.coordinator() != self()) return;  // only the coordinator acts
+  if (lg->switching || lg->collect) return;
+  // Deterministic conciliation: everyone switches to the highest HWG gid.
+  const names::MappingEntry* target = nullptr;
+  for (const names::MappingEntry& e : entries) {
+    if (target == nullptr || e.hwg > target->hwg) target = &e;
+  }
+  if (target == nullptr || target->hwg == lg->hwg) return;
+  MemberSet contacts = target->hwg_members.set_union(target->lwg_members);
+  start_switch(*lg, target->hwg, contacts);
+}
+
+}  // namespace plwg::lwg

@@ -1,0 +1,211 @@
+// LwgService partition healing: HWG view-change handling, local peer
+// discovery, and the merge-views protocol of paper Fig. 5.
+//
+// The merge is decentralized and deterministic: during the flushing view,
+// every member multicasts ALL-VIEWS (its mapped LWG views); virtual
+// synchrony guarantees everyone that installs the next HWG view collected
+// the identical set, so each member independently computes the same merged
+// LWG views. Stragglers whose ALL-VIEWS slipped past the flush cut simply
+// cause another (cheap) round.
+#include "lwg/lwg_service.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace plwg::lwg {
+
+namespace {
+
+/// FNV-1a over the sorted constituent ids: the disambiguator that makes the
+/// deterministically computed merged view id globally fresh.
+std::uint32_t hash_constituents(const std::vector<ViewId>& ids) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const ViewId& id : ids) {
+    mix(id.coordinator.value());
+    mix(id.seq);
+    mix(id.disambig);
+  }
+  std::uint32_t out = static_cast<std::uint32_t>(h ^ (h >> 32));
+  return out == 0 ? 1 : out;  // 0 is reserved for locally minted ids
+}
+
+}  // namespace
+
+void LwgService::trigger_merge_views(HwgId gid) {
+  HwgState& hs = hwg_state(gid);
+  if (hs.merge_requested) return;  // a round is already running
+  hs.merge_requested = true;
+  hs.merge_requested_since = vsync_.node().now();
+  stats_.merges_triggered++;
+  PLWG_DEBUG("lwg", "p", self(), " triggers MERGE-VIEWS on hwg ", gid);
+  Encoder body;
+  MergeViewsMsg{}.encode(body);
+  send_lwg_msg(gid, LwgMsgType::kMergeViews, body);
+}
+
+void LwgService::handle_merge_views(HwgId gid) {
+  HwgState& hs = hwg_state(gid);
+  hs.merge_requested = true;  // suppress duplicate triggers this round
+  hs.merge_requested_since = vsync_.node().now();
+  // Fig. 5 line 109: answer with our mapped views, even if we map none
+  // (an empty ALL-VIEWS still tells everyone we took part).
+  AllViewsMsg msg{local_views_on(gid)};
+  Encoder body;
+  msg.encode(body);
+  send_lwg_msg(gid, LwgMsgType::kAllViews, body);
+  // Fig. 5 lines 110-111: the HWG coordinator forces the flush; repeated
+  // MERGE-VIEWS before the next view are ignored by the vsync layer. A
+  // short gather window first lets every member's ALL-VIEWS reach the
+  // sequencer, so one flush collects them all.
+  const vsync::View* hv = vsync_.view_of(gid);
+  if (hv != nullptr && hv->coordinator() == self()) {
+    vsync_.node().after(config_.merge_gather_us,
+                        [this, gid] { vsync_.force_flush(gid); });
+  }
+}
+
+void LwgService::handle_all_views(HwgId gid, const AllViewsMsg& msg) {
+  HwgState& hs = hwg_state(gid);
+  bool straggler_evidence = false;
+  for (const LwgViewInfo& info : msg.views) {
+    HwgState::CollectedView collected;
+    collected.view = info.view;
+    collected.ancestors.insert(info.ancestors.begin(), info.ancestors.end());
+    hs.all_views[info.lwg][info.view.id] = std::move(collected);
+    // A late ALL-VIEWS (after the flush that should have covered it) can
+    // reveal a concurrent view of one of our groups; start another round.
+    // The *trigger* may use local ancestry (a local heuristic); the merge
+    // decision itself uses only the collected evidence.
+    LocalGroup* lg = find_group(info.lwg);
+    if (lg != nullptr && lg->has_view && lg->hwg == gid &&
+        info.view.id != lg->view.id && !lg->ancestors.contains(info.view.id)) {
+      straggler_evidence = true;
+    }
+  }
+  if (straggler_evidence && !hs.merge_requested) {
+    trigger_merge_views(gid);
+  }
+}
+
+void LwgService::handle_announce(HwgId gid, const AnnounceMsg& msg) {
+  for (const LwgViewInfo& info : msg.views) {
+    LocalGroup* lg = find_group(info.lwg);
+    if (lg == nullptr || !lg->has_view || lg->hwg != gid) continue;
+    if (info.view.id == lg->view.id) continue;
+    if (lg->ancestors.contains(info.view.id)) continue;
+    // Concurrent view of a local group on this HWG (Step 3 discovery).
+    trigger_merge_views(gid);
+    return;
+  }
+}
+
+void LwgService::process_pending_merges(HwgId gid,
+                                        const vsync::View& new_hwg_view) {
+  HwgState& hs = hwg_state(gid);
+  for (auto& [lwg, views] : hs.all_views) {
+    LocalGroup* lg = find_group(lwg);
+    if (lg == nullptr || !lg->has_view || lg->hwg != gid) continue;
+    // Canonical supersession: a collected view that appears in another
+    // collected view's advertised ancestry is obsolete. This is decided
+    // from the collected evidence alone, so every member (stale straggler
+    // or already merged) reaches the same verdict.
+    std::set<ViewId> superseded;
+    for (const auto& [vid, collected] : views) {
+      superseded.insert(collected.ancestors.begin(),
+                        collected.ancestors.end());
+    }
+    for (auto it = views.begin(); it != views.end();) {
+      if (superseded.contains(it->first)) {
+        it = views.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (views.empty()) continue;
+    if (superseded.contains(lg->view.id)) {
+      // Our own view is obsolete (we missed the change that superseded it,
+      // e.g. while partitioned). Adopt the superseding survivor if it
+      // includes us; if it dropped us, re-resolve and rejoin from scratch.
+      const HwgState::CollectedView* successor = nullptr;
+      for (const auto& [vid, collected] : views) {
+        if (collected.ancestors.contains(lg->view.id) &&
+            (successor == nullptr || vid > successor->view.id)) {
+          successor = &collected;
+        }
+      }
+      if (successor != nullptr && successor->view.members.contains(self())) {
+        PLWG_INFO("lwg", "p", self(), " adopts superseding view ",
+                  successor->view.id, " of lwg ", lwg);
+        install_lwg_view(*lg, successor->view, {lg->view.id});
+      } else {
+        PLWG_INFO("lwg", "p", self(), " dropped from lwg ", lwg,
+                  " while away; re-resolving");
+        lg->stale_views.push_back(lg->view.id);
+        lg->has_view = false;
+        set_phase(*lg, Phase::kResolving);
+        resolve_mapping(lwg);
+      }
+      continue;
+    }
+    if (views.size() < 2) continue;
+    if (!views.contains(lg->view.id)) continue;
+
+    std::vector<ViewId> constituents;
+    std::vector<LwgView> constituent_views;
+    MemberSet merged_members;
+    std::uint32_t max_seq = 0;
+    for (const auto& [vid, collected] : views) {
+      constituents.push_back(vid);
+      constituent_views.push_back(collected.view);
+      merged_members = merged_members.set_union(collected.view.members);
+      max_seq = std::max(max_seq, vid.seq);
+    }
+    merged_members = merged_members.set_intersection(new_hwg_view.members);
+    if (!merged_members.contains(self())) continue;
+
+    LwgView merged;
+    merged.id = ViewId{merged_members.min_member(), max_seq + 1,
+                       hash_constituents(constituents)};
+    merged.members = merged_members;
+    merged.hwg = gid;
+    stats_.lwg_merges++;
+    PLWG_INFO("lwg", "p", self(), " merges ", views.size(),
+              " concurrent views of lwg ", lwg, " -> ", merged.id,
+              merged.members);
+    // Install first: anything the application multicasts from the merge
+    // hook is then tagged with the *merged* view and reaches every member
+    // (state sent under a constituent view would be dropped as stale).
+    install_lwg_view(*lg, merged, constituents);
+    lg->user->on_lwg_merge(lwg, constituent_views, merged);
+  }
+}
+
+void LwgService::handle_hwg_membership_change(HwgId gid,
+                                              const vsync::View& new_view) {
+  for (auto& [lwg, lg] : groups_) {
+    if (!lg.has_view || lg.hwg != gid || lg.switching) continue;
+    const MemberSet survivors =
+        lg.view.members.set_intersection(new_view.members);
+    if (survivors == lg.view.members) {
+      // Unaffected membership; the coordinator refreshes the mapping so the
+      // naming service tracks the new HWG view (paper Table 4, stage 2).
+      if (lg.view.coordinator() == self()) ns_register(lg, {});
+      continue;
+    }
+    if (survivors.empty() || !survivors.contains(self())) continue;
+    if (survivors.min_member() != self()) continue;  // surviving coordinator
+    LwgView next;
+    next.id = mint_view_id();
+    next.members = survivors;
+    next.hwg = gid;
+    ViewMsg vm{lwg, next, {lg.view.id}};
+    Encoder body;
+    vm.encode(body);
+    send_lwg_msg(gid, LwgMsgType::kView, body);
+  }
+}
+
+}  // namespace plwg::lwg

@@ -1,0 +1,111 @@
+// LwgService policy runner: the share / interference / shrink rules of
+// paper Fig. 1, evaluated purely from local knowledge (the membership of
+// every LWG and HWG this process belongs to), with switches enacted only by
+// each LWG's coordinator and all ties broken by the total order of group
+// ids — the stability measures of paper Sect. 3.2.
+#include "lwg/lwg_service.hpp"
+#include "util/log.hpp"
+
+namespace plwg::lwg {
+
+std::vector<policy::HwgCandidate> LwgService::hwg_candidates() const {
+  std::vector<policy::HwgCandidate> out;
+  for (HwgId gid : vsync_.groups()) {
+    const vsync::View* v = vsync_.view_of(gid);
+    if (v == nullptr) continue;
+    out.push_back(policy::HwgCandidate{gid, v->members});
+  }
+  return out;
+}
+
+std::size_t LwgService::lwgs_using_hwg(HwgId gid) const {
+  std::size_t count = 0;
+  for (const auto& [lwg, lg] : groups_) {
+    if (lg.phase == Phase::kResolving) continue;
+    if (lg.hwg == gid) ++count;
+    if (lg.switching && lg.switching->to_hwg == gid) ++count;
+    if (lg.collect && lg.collect->to_hwg == gid) ++count;
+  }
+  return count;
+}
+
+void LwgService::run_share_rule() {
+  const policy::PolicyParams params{config_.k_m, config_.k_c};
+  const std::vector<policy::HwgCandidate> candidates = hwg_candidates();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      if (!policy::should_collapse(candidates[i].members,
+                                   candidates[j].members, params)) {
+        continue;
+      }
+      const HwgId winner =
+          policy::collapse_winner(candidates[i].gid, candidates[j].gid);
+      const std::size_t w = winner == candidates[i].gid ? i : j;
+      const std::size_t l = winner == candidates[i].gid ? j : i;
+      // Every LWG we coordinate on the losing HWG switches to the winner;
+      // coordinators elsewhere apply the same deterministic rule.
+      for (auto& [lwg, lg] : groups_) {
+        if (!lg.has_view || lg.hwg != candidates[l].gid) continue;
+        if (lg.view.coordinator() != self()) continue;
+        if (lg.switching || lg.collect) continue;
+        PLWG_DEBUG("lwg", "p", self(), " share rule: collapse lwg ", lwg,
+                   " from hwg ", candidates[l].gid, " into ", winner);
+        start_switch(lg, winner, candidates[w].members);
+      }
+    }
+  }
+}
+
+void LwgService::run_interference_rule() {
+  const policy::PolicyParams params{config_.k_m, config_.k_c};
+  const std::vector<policy::HwgCandidate> candidates = hwg_candidates();
+  for (auto& [lwg, lg] : groups_) {
+    if (!lg.has_view || lg.phase != Phase::kActive) continue;
+    if (lg.view.coordinator() != self()) continue;
+    if (lg.switching || lg.collect) continue;
+    const vsync::View* hv = vsync_.view_of(lg.hwg);
+    if (hv == nullptr) continue;
+    if (!policy::is_interference_victim(lg.view.members, hv->members, params)) {
+      continue;
+    }
+    const std::optional<HwgId> target =
+        policy::pick_switch_target(lg.view.members, candidates, params);
+    if (target && *target != lg.hwg) {
+      const vsync::View* tv = vsync_.view_of(*target);
+      PLWG_DEBUG("lwg", "p", self(), " interference rule: switch lwg ", lwg,
+                 " to close hwg ", *target);
+      start_switch(lg, *target, tv != nullptr ? tv->members : MemberSet{});
+    } else if (!target) {
+      // No close-enough HWG exists: create one with membership identical to
+      // the LWG. We found it; the other members join through us during the
+      // switch.
+      const HwgId fresh = vsync_.allocate_group_id();
+      PLWG_DEBUG("lwg", "p", self(), " interference rule: switch lwg ", lwg,
+                 " to fresh hwg ", fresh);
+      start_switch(lg, fresh, MemberSet{self()});
+    }
+  }
+}
+
+void LwgService::run_shrink_rule() {
+  const Time now = vsync_.node().now();
+  for (HwgId gid : vsync_.groups()) {
+    HwgState& hs = hwg_state(gid);
+    if (lwgs_using_hwg(gid) > 0) {
+      hs.no_local_lwg_since = -1;
+      continue;
+    }
+    if (hs.no_local_lwg_since < 0) {
+      hs.no_local_lwg_since = now;
+      continue;
+    }
+    if (now - hs.no_local_lwg_since >= config_.shrink_delay_us) {
+      PLWG_DEBUG("lwg", "p", self(), " shrink rule: leaving hwg ", gid);
+      vsync_.leave_group(gid);
+      hwgs_.erase(gid);
+      stats_.hwgs_left++;
+    }
+  }
+}
+
+}  // namespace plwg::lwg

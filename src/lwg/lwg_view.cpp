@@ -1,0 +1,9 @@
+#include "lwg/lwg_view.hpp"
+
+namespace plwg::lwg {
+
+std::ostream& operator<<(std::ostream& os, const LwgView& view) {
+  return os << view.id << view.members << "@hwg" << view.hwg;
+}
+
+}  // namespace plwg::lwg

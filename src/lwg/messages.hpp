@@ -1,0 +1,118 @@
+// Light-weight group protocol messages. These ride as payloads of the
+// heavy-weight group's totally-ordered multicast, which doubles as the flush
+// barrier of the LWG protocols: a protocol message is ordered against all
+// DATA on the same HWG, so everything sent in an LWG view is delivered
+// before the view-changing message that closes it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lwg/lwg_view.hpp"
+#include "util/codec.hpp"
+#include "util/member_set.hpp"
+#include "util/types.hpp"
+
+namespace plwg::lwg {
+
+enum class LwgMsgType : std::uint8_t {
+  kData = 1,
+  kJoin,        // joiner announces itself on the HWG
+  kLeave,
+  kView,        // LWG coordinator installs an LWG view
+  kSwitch,      // coordinator starts switching the LWG to another HWG
+  kSwitchReady, // member arrived on the target HWG
+  kSwitched,    // forward pointer for stale joiners on the old HWG
+  kRedirect,    // tells a stale joiner where the LWG went
+  kMergeViews,  // paper Fig. 5: request an HWG-wide LWG view merge
+  kAllViews,    // paper Fig. 5: a member's mapped LWG views (V_p)
+  kAnnounce,    // local peer discovery after an HWG merge
+};
+
+struct DataMsg {
+  LwgId lwg;
+  ViewId lwg_view;  // delivery is filtered per LWG view (paper Sect. 5.1)
+  std::vector<std::uint8_t> payload;
+
+  void encode(Encoder& enc) const;
+  static DataMsg decode(Decoder& dec);
+};
+
+struct JoinMsg {
+  LwgId lwg;
+  ProcessId joiner;
+
+  void encode(Encoder& enc) const;
+  static JoinMsg decode(Decoder& dec);
+};
+
+struct LeaveMsg {
+  LwgId lwg;
+  ProcessId leaver;
+
+  void encode(Encoder& enc) const;
+  static LeaveMsg decode(Decoder& dec);
+};
+
+struct ViewMsg {
+  LwgId lwg;
+  LwgView view;
+  std::vector<ViewId> predecessors;
+
+  void encode(Encoder& enc) const;
+  static ViewMsg decode(Decoder& dec);
+};
+
+struct SwitchMsg {
+  LwgId lwg;
+  ViewId lwg_view;   // the view being switched (flush barrier on old HWG)
+  HwgId to_hwg;
+  MemberSet contacts;  // processes to join the target HWG through
+
+  void encode(Encoder& enc) const;
+  static SwitchMsg decode(Decoder& dec);
+};
+
+struct SwitchReadyMsg {
+  LwgId lwg;
+  ViewId lwg_view;  // the old view the member is switching from
+  ProcessId member;
+
+  void encode(Encoder& enc) const;
+  static SwitchReadyMsg decode(Decoder& dec);
+};
+
+struct SwitchedMsg {
+  LwgId lwg;
+  HwgId to_hwg;
+  MemberSet contacts;
+
+  void encode(Encoder& enc) const;
+  static SwitchedMsg decode(Decoder& dec);
+};
+
+struct RedirectMsg {
+  LwgId lwg;
+  ProcessId joiner;
+  HwgId to_hwg;
+  MemberSet contacts;
+
+  void encode(Encoder& enc) const;
+  static RedirectMsg decode(Decoder& dec);
+};
+
+struct MergeViewsMsg {
+  void encode(Encoder&) const {}
+  static MergeViewsMsg decode(Decoder&) { return {}; }
+};
+
+struct AllViewsMsg {
+  std::vector<LwgViewInfo> views;
+
+  void encode(Encoder& enc) const;
+  static AllViewsMsg decode(Decoder& dec);
+};
+
+using AnnounceMsg = AllViewsMsg;  // same payload, discovery semantics
+
+}  // namespace plwg::lwg

@@ -1,0 +1,44 @@
+#include "lwg/policy.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace plwg::lwg::policy {
+
+bool should_collapse(const MemberSet& hwg1, const MemberSet& hwg2,
+                     const PolicyParams& params) {
+  const std::size_t k = hwg1.intersection_size(hwg2);
+  const std::size_t n1 = hwg1.size() - k;
+  const std::size_t n2 = hwg2.size() - k;
+  const bool minority_subset =
+      (hwg1.is_subset_of(hwg2) && hwg1.is_minority_of(hwg2, params.k_m)) ||
+      (hwg2.is_subset_of(hwg1) && hwg2.is_minority_of(hwg1, params.k_m));
+  if (minority_subset) return false;
+  return static_cast<double>(k) >
+         std::sqrt(2.0 * static_cast<double>(n1) * static_cast<double>(n2));
+}
+
+HwgId collapse_winner(HwgId a, HwgId b) { return a > b ? a : b; }
+
+bool is_interference_victim(const MemberSet& lwg, const MemberSet& hwg,
+                            const PolicyParams& params) {
+  return lwg.is_minority_of(hwg, params.k_m);
+}
+
+std::optional<HwgId> pick_switch_target(
+    const MemberSet& lwg, const std::vector<HwgCandidate>& candidates,
+    const PolicyParams& params) {
+  std::optional<HwgId> best;
+  for (const HwgCandidate& c : candidates) {
+    if (!lwg.is_close_to(c.members, params.k_c)) continue;
+    if (!best || c.gid > *best) best = c.gid;
+  }
+  return best;
+}
+
+bool should_leave_hwg(std::size_t mapped_lwg_count) {
+  return mapped_lwg_count == 0;
+}
+
+}  // namespace plwg::lwg::policy

@@ -1,0 +1,63 @@
+// The mapping heuristics of paper Fig. 1, as pure functions over member
+// sets so they can be unit- and property-tested in isolation.
+//
+// Definitions (k_m, k_c are configuration parameters; paper defaults 4, 4):
+//   minority:  g1 ⊆ g2  and  |g1| <= |g2| / k_m
+//   closeness: g1 ⊆ g2  and  |g2| - |g1| <= |g2| / k_c
+//
+// Share rule: two HWGs with |hwg1| = n1 + k, |hwg2| = n2 + k and
+// |hwg1 ∩ hwg2| = k collapse into one when neither is a minority subset of
+// the other and k > sqrt(2 * n1 * n2).
+//
+// Interference rule: an LWG that is a minority of its HWG switches to a
+// close-enough HWG, or to a brand-new HWG with identical membership.
+//
+// Shrink rule: a process that is a member of an HWG carrying none of its
+// LWGs leaves that HWG.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/member_set.hpp"
+#include "util/types.hpp"
+
+namespace plwg::lwg::policy {
+
+struct PolicyParams {
+  double k_m = 4.0;
+  double k_c = 4.0;
+};
+
+/// Share rule predicate: should the two HWGs collapse into one?
+[[nodiscard]] bool should_collapse(const MemberSet& hwg1, const MemberSet& hwg2,
+                                   const PolicyParams& params);
+
+/// Deterministic collapse direction: every LWG of the losing HWG switches to
+/// the winning HWG. Consistent with the reconciliation rule of Sect. 6.2,
+/// the winner is the higher group id.
+[[nodiscard]] HwgId collapse_winner(HwgId a, HwgId b);
+
+/// Interference rule trigger: is the LWG a minority of its HWG?
+[[nodiscard]] bool is_interference_victim(const MemberSet& lwg,
+                                          const MemberSet& hwg,
+                                          const PolicyParams& params);
+
+struct HwgCandidate {
+  HwgId gid;
+  MemberSet members;
+};
+
+/// Interference rule target selection: among `candidates` (HWGs known to the
+/// caller), pick the close-enough HWG for `lwg`; ties broken by the total
+/// order of group ids (highest wins). nullopt means "create a new HWG with
+/// membership identical to the LWG".
+[[nodiscard]] std::optional<HwgId> pick_switch_target(
+    const MemberSet& lwg, const std::vector<HwgCandidate>& candidates,
+    const PolicyParams& params);
+
+/// Shrink rule predicate: `mapped_lwg_count` is the number of this process's
+/// LWGs mapped onto the HWG.
+[[nodiscard]] bool should_leave_hwg(std::size_t mapped_lwg_count);
+
+}  // namespace plwg::lwg::policy

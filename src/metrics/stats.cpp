@@ -1,0 +1,85 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace plwg::metrics {
+
+void LatencyRecorder::record(Duration sample_us) {
+  samples_.push_back(sample_us);
+}
+
+double LatencyRecorder::mean_us() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (Duration s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+Duration LatencyRecorder::min_us() const {
+  PLWG_ASSERT(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+Duration LatencyRecorder::max_us() const {
+  PLWG_ASSERT(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+Duration LatencyRecorder::percentile_us(double q) const {
+  PLWG_ASSERT(!samples_.empty());
+  PLWG_ASSERT(q >= 0.0 && q <= 1.0);
+  std::vector<Duration> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double rate_per_sec(std::uint64_t events, Duration interval_us) {
+  if (interval_us <= 0) return 0.0;
+  return static_cast<double>(events) * 1e6 / static_cast<double>(interval_us);
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PLWG_ASSERT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "  " << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += "  " + std::string(widths[c], '-');
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::fmt(double value, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << value;
+  return os.str();
+}
+
+}  // namespace plwg::metrics

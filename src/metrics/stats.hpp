@@ -1,0 +1,53 @@
+// Small measurement toolkit used by the benchmark harnesses: latency
+// recorders with percentiles, throughput accounting, and a fixed-width
+// table printer for paper-style result rows.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace plwg::metrics {
+
+class LatencyRecorder {
+ public:
+  void record(Duration sample_us);
+  void clear() { samples_.clear(); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean_us() const;
+  [[nodiscard]] Duration min_us() const;
+  [[nodiscard]] Duration max_us() const;
+  /// q in [0, 1]; nearest-rank on a sorted copy.
+  [[nodiscard]] Duration percentile_us(double q) const;
+  [[nodiscard]] Duration p50_us() const { return percentile_us(0.50); }
+  [[nodiscard]] Duration p95_us() const { return percentile_us(0.95); }
+  [[nodiscard]] Duration p99_us() const { return percentile_us(0.99); }
+
+ private:
+  std::vector<Duration> samples_;
+};
+
+/// Messages (or bytes) per second over a simulated interval.
+[[nodiscard]] double rate_per_sec(std::uint64_t events, Duration interval_us);
+
+/// Fixed-width console table, enough for reproducing the paper's figures as
+/// rows of numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double value, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace plwg::metrics

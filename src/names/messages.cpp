@@ -1,0 +1,93 @@
+#include "names/messages.hpp"
+
+namespace plwg::names {
+
+namespace {
+void encode_entries(Encoder& enc, const std::vector<MappingEntry>& entries) {
+  enc.put_u32(static_cast<std::uint32_t>(entries.size()));
+  for (const MappingEntry& e : entries) e.encode(enc);
+}
+
+std::vector<MappingEntry> decode_entries(Decoder& dec) {
+  const std::uint32_t n = dec.get_count(24);
+  std::vector<MappingEntry> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(MappingEntry::decode(dec));
+  return out;
+}
+}  // namespace
+
+void SetReqMsg::encode(Encoder& enc) const {
+  enc.put_u64(req_id);
+  enc.put_id(lwg);
+  entry.encode(enc);
+  enc.put_u32(static_cast<std::uint32_t>(predecessors.size()));
+  for (const ViewId& p : predecessors) p.encode(enc);
+}
+
+SetReqMsg SetReqMsg::decode(Decoder& dec) {
+  SetReqMsg m;
+  m.req_id = dec.get_u64();
+  m.lwg = dec.get_id<LwgId>();
+  m.entry = MappingEntry::decode(dec);
+  const std::uint32_t n = dec.get_count(12);
+  m.predecessors.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    m.predecessors.push_back(ViewId::decode(dec));
+  }
+  return m;
+}
+
+void ReadReqMsg::encode(Encoder& enc) const {
+  enc.put_u64(req_id);
+  enc.put_id(lwg);
+}
+
+ReadReqMsg ReadReqMsg::decode(Decoder& dec) {
+  ReadReqMsg m;
+  m.req_id = dec.get_u64();
+  m.lwg = dec.get_id<LwgId>();
+  return m;
+}
+
+void TestSetReqMsg::encode(Encoder& enc) const {
+  enc.put_u64(req_id);
+  enc.put_id(lwg);
+  entry.encode(enc);
+}
+
+TestSetReqMsg TestSetReqMsg::decode(Decoder& dec) {
+  TestSetReqMsg m;
+  m.req_id = dec.get_u64();
+  m.lwg = dec.get_id<LwgId>();
+  m.entry = MappingEntry::decode(dec);
+  return m;
+}
+
+void MappingsMsg::encode(Encoder& enc) const {
+  enc.put_u64(req_id);
+  enc.put_id(lwg);
+  encode_entries(enc, entries);
+}
+
+MappingsMsg MappingsMsg::decode(Decoder& dec) {
+  MappingsMsg m;
+  m.req_id = dec.get_u64();
+  m.lwg = dec.get_id<LwgId>();
+  m.entries = decode_entries(dec);
+  return m;
+}
+
+void MultipleMappingsMsg::encode(Encoder& enc) const {
+  enc.put_id(lwg);
+  encode_entries(enc, entries);
+}
+
+MultipleMappingsMsg MultipleMappingsMsg::decode(Decoder& dec) {
+  MultipleMappingsMsg m;
+  m.lwg = dec.get_id<LwgId>();
+  m.entries = decode_entries(dec);
+  return m;
+}
+
+}  // namespace plwg::names

@@ -1,0 +1,86 @@
+// Wire protocol of the naming service (Port::kNaming).
+//
+// Client -> server: SET / READ / TESTSET requests (paper Table 2, extended
+// with view-to-view mappings and genealogy).
+// Server -> client: ACK / MAPPINGS responses and the MULTIPLE-MAPPINGS
+// callback of paper Sect. 6.1.
+// Server <-> server: full-state anti-entropy SYNC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "names/mapping.hpp"
+#include "util/codec.hpp"
+
+namespace plwg::names {
+
+enum class NamingMsgType : std::uint8_t {
+  kSetReq = 1,
+  kReadReq,
+  kTestSetReq,
+  kAck,            // response to kSetReq
+  kMappings,       // response to kReadReq / kTestSetReq
+  kMultipleMappings,  // server-initiated conflict callback
+  kSync,           // server-to-server anti-entropy
+};
+
+struct SetReqMsg {
+  std::uint64_t req_id = 0;
+  LwgId lwg;
+  MappingEntry entry;
+  std::vector<ViewId> predecessors;
+
+  void encode(Encoder& enc) const;
+  static SetReqMsg decode(Decoder& dec);
+};
+
+struct ReadReqMsg {
+  std::uint64_t req_id = 0;
+  LwgId lwg;
+
+  void encode(Encoder& enc) const;
+  static ReadReqMsg decode(Decoder& dec);
+};
+
+struct TestSetReqMsg {
+  std::uint64_t req_id = 0;
+  LwgId lwg;
+  MappingEntry entry;
+
+  void encode(Encoder& enc) const;
+  static TestSetReqMsg decode(Decoder& dec);
+};
+
+struct AckMsg {
+  std::uint64_t req_id = 0;
+
+  void encode(Encoder& enc) const { enc.put_u64(req_id); }
+  static AckMsg decode(Decoder& dec) { return {dec.get_u64()}; }
+};
+
+struct MappingsMsg {
+  std::uint64_t req_id = 0;
+  LwgId lwg;
+  std::vector<MappingEntry> entries;
+
+  void encode(Encoder& enc) const;
+  static MappingsMsg decode(Decoder& dec);
+};
+
+struct MultipleMappingsMsg {
+  LwgId lwg;
+  std::vector<MappingEntry> entries;  // all alive mappings for the LWG
+
+  void encode(Encoder& enc) const;
+  static MultipleMappingsMsg decode(Decoder& dec);
+};
+
+struct SyncMsg {
+  Database db;
+
+  void encode(Encoder& enc) const { db.encode(enc); }
+  static SyncMsg decode(Decoder& dec) { return {Database::decode(dec)}; }
+};
+
+}  // namespace plwg::names

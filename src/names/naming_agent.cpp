@@ -1,0 +1,272 @@
+#include "names/naming_agent.hpp"
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace plwg::names {
+
+NamingAgent::NamingAgent(transport::NodeRuntime& node, NamingConfig config,
+                         std::vector<NodeId> servers)
+    : node_(node), config_(config), servers_(std::move(servers)) {
+  node_.register_port(transport::Port::kNaming, *this);
+  node_.after(config_.tick_us, [this] { tick(); });
+}
+
+NamingAgent::~NamingAgent() = default;
+
+void NamingAgent::enable_server(std::vector<NodeId> peers) {
+  PLWG_ASSERT(!server_);
+  ServerState state;
+  state.peers = std::move(peers);
+  server_ = std::move(state);
+}
+
+const Database& NamingAgent::database() const {
+  PLWG_ASSERT_MSG(server_.has_value(), "not a name server");
+  return server_->db;
+}
+
+std::string NamingAgent::dump_database() const { return database().dump(); }
+
+// --- client side -----------------------------------------------------------
+
+void NamingAgent::set(LwgId lwg, const MappingEntry& entry,
+                      std::vector<ViewId> predecessors) {
+  const std::uint64_t id = next_req_id_++;
+  PendingRequest req;
+  req.type = NamingMsgType::kSetReq;
+  req.lwg = lwg;
+  req.entry = entry;
+  req.predecessors = std::move(predecessors);
+  auto [it, inserted] = pending_.emplace(id, std::move(req));
+  send_request(id, it->second);
+}
+
+void NamingAgent::read(LwgId lwg, ReadCallback cb) {
+  const std::uint64_t id = next_req_id_++;
+  PendingRequest req;
+  req.type = NamingMsgType::kReadReq;
+  req.lwg = lwg;
+  req.callback = std::move(cb);
+  auto [it, inserted] = pending_.emplace(id, std::move(req));
+  send_request(id, it->second);
+}
+
+void NamingAgent::testset(LwgId lwg, const MappingEntry& entry,
+                          ReadCallback cb) {
+  const std::uint64_t id = next_req_id_++;
+  PendingRequest req;
+  req.type = NamingMsgType::kTestSetReq;
+  req.lwg = lwg;
+  req.entry = entry;
+  req.callback = std::move(cb);
+  auto [it, inserted] = pending_.emplace(id, std::move(req));
+  send_request(id, it->second);
+}
+
+void NamingAgent::send_request(std::uint64_t req_id, PendingRequest& req) {
+  PLWG_ASSERT_MSG(!servers_.empty(), "no name servers configured");
+  req.sent_at = node_.now();
+  const NodeId server = servers_[req.server_index % servers_.size()];
+  Encoder body;
+  switch (req.type) {
+    case NamingMsgType::kSetReq: {
+      SetReqMsg m{req_id, req.lwg, *req.entry, req.predecessors};
+      m.encode(body);
+      break;
+    }
+    case NamingMsgType::kReadReq: {
+      ReadReqMsg m{req_id, req.lwg};
+      m.encode(body);
+      break;
+    }
+    case NamingMsgType::kTestSetReq: {
+      TestSetReqMsg m{req_id, req.lwg, *req.entry};
+      m.encode(body);
+      break;
+    }
+    default:
+      PLWG_ASSERT_MSG(false, "not a request type");
+  }
+  send_msg(server, req.type, body);
+}
+
+void NamingAgent::client_on_ack(const AckMsg& msg) {
+  pending_.erase(msg.req_id);
+}
+
+void NamingAgent::client_on_mappings(const MappingsMsg& msg) {
+  auto it = pending_.find(msg.req_id);
+  if (it == pending_.end()) return;
+  ReadCallback cb = std::move(it->second.callback);
+  const LwgId lwg = it->second.lwg;
+  pending_.erase(it);
+  if (cb) cb(lwg, msg.entries);
+}
+
+// --- server side -----------------------------------------------------------
+
+void NamingAgent::server_on_set(NodeId from, const SetReqMsg& msg) {
+  PLWG_ASSERT(server_);
+  stats_.set_requests++;
+  server_->db.records[msg.lwg].apply(msg.entry, msg.predecessors);
+  Encoder body;
+  AckMsg{msg.req_id}.encode(body);
+  send_msg(from, NamingMsgType::kAck, body);
+  server_check_conflicts();
+}
+
+void NamingAgent::server_on_read(NodeId from, const ReadReqMsg& msg) {
+  PLWG_ASSERT(server_);
+  stats_.read_requests++;
+  MappingsMsg reply;
+  reply.req_id = msg.req_id;
+  reply.lwg = msg.lwg;
+  auto it = server_->db.records.find(msg.lwg);
+  if (it != server_->db.records.end()) {
+    reply.entries = it->second.alive_entries();
+  }
+  Encoder body;
+  reply.encode(body);
+  send_msg(from, NamingMsgType::kMappings, body);
+}
+
+void NamingAgent::server_on_testset(NodeId from, const TestSetReqMsg& msg) {
+  PLWG_ASSERT(server_);
+  stats_.testset_requests++;
+  LwgRecord& rec = server_->db.records[msg.lwg];
+  if (rec.entries.empty()) {
+    rec.apply(msg.entry, {});
+  }
+  MappingsMsg reply;
+  reply.req_id = msg.req_id;
+  reply.lwg = msg.lwg;
+  reply.entries = rec.alive_entries();
+  Encoder body;
+  reply.encode(body);
+  send_msg(from, NamingMsgType::kMappings, body);
+  server_check_conflicts();
+}
+
+void NamingAgent::server_on_sync(const SyncMsg& msg) {
+  PLWG_ASSERT(server_);
+  if (server_->db.merge_from(msg.db)) {
+    PLWG_DEBUG("names", "server ", node_.id(), " merged peer state");
+    server_check_conflicts();
+  }
+}
+
+void NamingAgent::server_broadcast_sync() {
+  PLWG_ASSERT(server_);
+  if (server_->peers.empty() || server_->db.records.empty()) return;
+  Encoder body;
+  SyncMsg{server_->db}.encode(body);
+  for (NodeId peer : server_->peers) {
+    stats_.syncs_sent++;
+    send_msg(peer, NamingMsgType::kSync, body);
+  }
+}
+
+void NamingAgent::server_check_conflicts() {
+  PLWG_ASSERT(server_);
+  for (const auto& [lwg, rec] : server_->db.records) {
+    if (!rec.has_conflict()) {
+      server_->notified.erase(lwg);
+      server_->last_callback.erase(lwg);
+      continue;
+    }
+    std::vector<std::pair<ViewId, HwgId>> signature;
+    signature.reserve(rec.entries.size());
+    for (const auto& [view, entry] : rec.entries) {
+      signature.emplace_back(view, entry.hwg);
+    }
+    auto it = server_->notified.find(lwg);
+    const Time last = server_->last_callback.contains(lwg)
+                          ? server_->last_callback[lwg]
+                          : -1;
+    const bool changed =
+        it == server_->notified.end() || it->second != signature;
+    const bool due =
+        last < 0 || node_.now() - last >= config_.callback_repeat_us;
+    if (changed || due) {
+      server_->notified[lwg] = std::move(signature);
+      server_->last_callback[lwg] = node_.now();
+      server_send_callback(lwg, rec);
+    }
+  }
+}
+
+void NamingAgent::server_send_callback(LwgId lwg, const LwgRecord& rec) {
+  MultipleMappingsMsg msg;
+  msg.lwg = lwg;
+  msg.entries = rec.alive_entries();
+  Encoder body;
+  msg.encode(body);
+  const MemberSet targets = rec.all_members();
+  PLWG_DEBUG("names", "server ", node_.id(), " MULTIPLE-MAPPINGS for lwg ",
+             lwg, " to ", targets);
+  for (ProcessId p : targets.members()) {
+    stats_.callbacks_sent++;
+    send_msg(transport::node_of(p), NamingMsgType::kMultipleMappings, body);
+  }
+}
+
+// --- shared ------------------------------------------------------------------
+
+void NamingAgent::send_msg(NodeId to, NamingMsgType type, const Encoder& body) {
+  Encoder packet;
+  packet.put_u8(static_cast<std::uint8_t>(type));
+  packet.put_raw(body.bytes());
+  node_.send(transport::Port::kNaming, to, packet);
+}
+
+void NamingAgent::tick() {
+  const Time now = node_.now();
+  // Client: retry timed-out requests on the next server.
+  for (auto& [id, req] : pending_) {
+    if (now - req.sent_at >= config_.request_timeout_us) {
+      req.server_index++;
+      send_request(id, req);
+    }
+  }
+  // Server: anti-entropy.
+  if (server_ && now - last_sync_ >= config_.sync_interval_us) {
+    last_sync_ = now;
+    server_broadcast_sync();
+    server_check_conflicts();  // periodic re-notify while conflicts persist
+  }
+  node_.after(config_.tick_us, [this] { tick(); });
+}
+
+void NamingAgent::on_message(NodeId from, Decoder& dec) {
+  const auto type = static_cast<NamingMsgType>(dec.get_u8());
+  switch (type) {
+    case NamingMsgType::kSetReq:
+      if (server_) server_on_set(from, SetReqMsg::decode(dec));
+      break;
+    case NamingMsgType::kReadReq:
+      if (server_) server_on_read(from, ReadReqMsg::decode(dec));
+      break;
+    case NamingMsgType::kTestSetReq:
+      if (server_) server_on_testset(from, TestSetReqMsg::decode(dec));
+      break;
+    case NamingMsgType::kAck:
+      client_on_ack(AckMsg::decode(dec));
+      break;
+    case NamingMsgType::kMappings:
+      client_on_mappings(MappingsMsg::decode(dec));
+      break;
+    case NamingMsgType::kMultipleMappings: {
+      const MultipleMappingsMsg msg = MultipleMappingsMsg::decode(dec);
+      if (conflict_listener_) {
+        conflict_listener_->on_multiple_mappings(msg.lwg, msg.entries);
+      }
+      break;
+    }
+    case NamingMsgType::kSync:
+      if (server_) server_on_sync(SyncMsg::decode(dec));
+      break;
+  }
+}
+
+}  // namespace plwg::names

@@ -1,0 +1,140 @@
+// NamingAgent: the per-node endpoint of the naming service.
+//
+// Every node runs the *client* role (set / read / testset with retry and
+// server fail-over). Nodes designated as name servers additionally enable
+// the *server* role: a weakly-consistent replica of the mapping database
+// that reconciles with its peers by periodic anti-entropy and pushes
+// MULTIPLE-MAPPINGS callbacks to the members of LWGs whose concurrent views
+// are mapped onto different HWGs (paper Sect. 5.2 / 6.1).
+//
+// Consistency model: within a partition, clients of the same server see a
+// consistent database; across partitions the replicas diverge freely and
+// reconcile on heal — the LWG reconciliation protocol is what restores
+// mapping agreement, the naming service only has to converge and to detect
+// conflicts.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "names/mapping.hpp"
+#include "names/messages.hpp"
+#include "transport/node_runtime.hpp"
+#include "util/types.hpp"
+
+namespace plwg::names {
+
+struct NamingConfig {
+  /// Client request timeout before retrying on the next server.
+  Duration request_timeout_us = 400'000;
+  /// Server anti-entropy period (also the heal-reconciliation latency).
+  Duration sync_interval_us = 1'000'000;
+  /// While a conflict persists, the callback is re-sent at this period.
+  Duration callback_repeat_us = 2'000'000;
+  /// Client/server internal timer period.
+  Duration tick_us = 100'000;
+};
+
+/// Receives MULTIPLE-MAPPINGS callbacks (implemented by the LWG service).
+class ConflictListener {
+ public:
+  virtual ~ConflictListener() = default;
+  virtual void on_multiple_mappings(LwgId lwg,
+                                    const std::vector<MappingEntry>& entries) = 0;
+};
+
+class NamingAgent : public transport::PortHandler {
+ public:
+  using ReadCallback =
+      std::function<void(LwgId, const std::vector<MappingEntry>&)>;
+
+  /// `servers` is the fail-over-ordered list of name-server nodes this
+  /// client uses (rotate it per node to spread load / prefer the local LAN).
+  NamingAgent(transport::NodeRuntime& node, NamingConfig config,
+              std::vector<NodeId> servers);
+  ~NamingAgent() override;
+
+  /// Turn this node into a name server replicating with `peers`.
+  void enable_server(std::vector<NodeId> peers);
+  [[nodiscard]] bool is_server() const { return server_.has_value(); }
+
+  // --- client API (paper Table 2) ---------------------------------------
+  /// ns.set: register/update a mapping; `predecessors` are the lwg views the
+  /// entry's view supersedes. Retried until one server acknowledges.
+  void set(LwgId lwg, const MappingEntry& entry,
+           std::vector<ViewId> predecessors);
+  /// ns.read: fetch all alive mappings for `lwg` (may be several after a
+  /// partition, may be empty).
+  void read(LwgId lwg, ReadCallback cb);
+  /// ns.testset: install `entry` iff no mapping exists; either way the
+  /// callback receives the winning alive mappings.
+  void testset(LwgId lwg, const MappingEntry& entry, ReadCallback cb);
+
+  void set_conflict_listener(ConflictListener* listener) {
+    conflict_listener_ = listener;
+  }
+
+  // --- server introspection (tests / Table 3-4 benches) -----------------
+  [[nodiscard]] const Database& database() const;
+  [[nodiscard]] std::string dump_database() const;
+
+  struct Stats {
+    std::uint64_t set_requests = 0;
+    std::uint64_t read_requests = 0;
+    std::uint64_t testset_requests = 0;
+    std::uint64_t syncs_sent = 0;
+    std::uint64_t callbacks_sent = 0;  // MULTIPLE-MAPPINGS deliveries
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // transport::PortHandler
+  void on_message(NodeId from, Decoder& dec) override;
+
+ private:
+  struct PendingRequest {
+    NamingMsgType type;
+    LwgId lwg;
+    std::optional<MappingEntry> entry;
+    std::vector<ViewId> predecessors;
+    ReadCallback callback;      // empty for kSetReq
+    std::size_t server_index = 0;
+    Time sent_at = 0;
+  };
+
+  struct ServerState {
+    Database db;
+    std::vector<NodeId> peers;
+    /// Last conflict signature notified per LWG, to de-duplicate callbacks.
+    std::map<LwgId, std::vector<std::pair<ViewId, HwgId>>> notified;
+    std::map<LwgId, Time> last_callback;
+  };
+
+  void tick();
+  void send_request(std::uint64_t req_id, PendingRequest& req);
+  void client_on_ack(const AckMsg& msg);
+  void client_on_mappings(const MappingsMsg& msg);
+
+  void server_on_set(NodeId from, const SetReqMsg& msg);
+  void server_on_read(NodeId from, const ReadReqMsg& msg);
+  void server_on_testset(NodeId from, const TestSetReqMsg& msg);
+  void server_on_sync(const SyncMsg& msg);
+  void server_broadcast_sync();
+  void server_check_conflicts();
+  void server_send_callback(LwgId lwg, const LwgRecord& rec);
+  void send_msg(NodeId to, NamingMsgType type, const Encoder& body);
+
+  transport::NodeRuntime& node_;
+  NamingConfig config_;
+  std::vector<NodeId> servers_;
+  std::optional<ServerState> server_;
+  ConflictListener* conflict_listener_ = nullptr;
+
+  std::map<std::uint64_t, PendingRequest> pending_;
+  std::uint64_t next_req_id_ = 1;
+  Time last_sync_ = 0;
+  Stats stats_;
+};
+
+}  // namespace plwg::names

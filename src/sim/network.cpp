@@ -1,0 +1,246 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace plwg::sim {
+
+Network::Network(Simulator& simulator, NetworkConfig config)
+    : sim_(simulator), config_(config), rng_(config.seed) {
+  PLWG_ASSERT(config_.bandwidth_bps > 0);
+}
+
+NodeId Network::add_node(NetHandler& handler) {
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  NodeState state;
+  state.handler = &handler;
+  nodes_.push_back(state);
+  return id;
+}
+
+Duration Network::transmission_time(std::size_t payload_bytes,
+                                    double bandwidth_bps) const {
+  const double bits =
+      static_cast<double>(payload_bytes + config_.header_bytes) * 8.0;
+  const double seconds = bits / bandwidth_bps;
+  return static_cast<Duration>(seconds * 1e6) + 1;  // at least 1us
+}
+
+Time Network::occupy_bus(std::int64_t key, Time earliest, Duration tx_time) {
+  Time& bus_free = bus_free_at_[key];
+  const Time tx_start = std::max(earliest, bus_free);
+  const Time tx_end = tx_start + tx_time;
+  stats_.bus_busy_us += tx_time;
+  bus_free = tx_end;
+  return tx_end;
+}
+
+void Network::multicast(NodeId from, std::span<const NodeId> dests,
+                        std::vector<std::uint8_t> data) {
+  PLWG_ASSERT(from.valid() && from.value() < nodes_.size());
+  NodeState& sender = nodes_[from.value()];
+  if (sender.crashed) return;
+
+  stats_.packets_sent++;
+  stats_.bytes_sent += data.size();
+  stats_.bytes_on_wire += data.size() + config_.header_bytes;
+
+  // Shared-bus occupancy on the sender's LAN.
+  const Duration lan_tx = transmission_time(data.size(), config_.bandwidth_bps);
+  Time tx_end = sim_.now();
+  if (config_.shared_bus) {
+    tx_end = occupy_bus(bus_key(sender.partition, sender.segment), sim_.now(),
+                        lan_tx);
+  }
+
+  auto shared = std::make_shared<const std::vector<std::uint8_t>>(
+      std::move(data));
+
+  // Local deliveries (and loopback). A packet that must leave the LAN is
+  // forwarded once over the backbone and re-transmitted on each destination
+  // segment's bus (store-and-forward). Each queue is occupied by an event
+  // *at the time the packet reaches it* — booking future slots eagerly
+  // would let far-away traffic starve earlier local traffic.
+  std::unordered_map<int, std::vector<NodeId>> remote_dests;
+  for (NodeId to : dests) {
+    PLWG_ASSERT(to.valid() && to.value() < nodes_.size());
+    if (to == from) {
+      // Loopback: no bus, just local processing cost.
+      deliver(from, to, shared, sim_.now());
+      continue;
+    }
+    const NodeState& receiver = nodes_[to.value()];
+    if (receiver.crashed || receiver.partition != sender.partition) continue;
+    if (config_.drop_probability > 0 &&
+        rng_.next_bool(config_.drop_probability)) {
+      stats_.drops++;
+      continue;
+    }
+    if (receiver.segment == sender.segment || !multi_segment_) {
+      Time arrival = tx_end + config_.propagation_delay_us;
+      if (config_.jitter_us > 0) {
+        arrival += static_cast<Duration>(rng_.next_below(
+            static_cast<std::uint64_t>(config_.jitter_us) + 1));
+      }
+      deliver(from, to, shared, arrival);
+    } else {
+      remote_dests[receiver.segment].push_back(to);
+    }
+  }
+  if (remote_dests.empty()) return;
+
+  // Backbone hop: occupy the WAN queue when the packet leaves the source
+  // bus, then each destination LAN's bus when it comes off the backbone.
+  const std::size_t bytes = shared->size();
+  const int partition = sender.partition;
+  sim_.schedule_at(tx_end, [this, from, shared, bytes, partition, lan_tx,
+                            remote_dests = std::move(remote_dests)] {
+    Time& wan_free = wan_free_at_[partition];
+    const Time wan_start = std::max(sim_.now(), wan_free);
+    const Time wan_end =
+        wan_start + transmission_time(bytes, wan_.bandwidth_bps);
+    wan_free = wan_end;
+    const Time backbone_out = wan_end + wan_.propagation_delay_us;
+    for (const auto& [segment, nodes] : remote_dests) {
+      sim_.schedule_at(
+          backbone_out, [this, from, shared, partition, segment, lan_tx,
+                         nodes] {
+            const Time seg_done =
+                config_.shared_bus
+                    ? occupy_bus(bus_key(partition, segment), sim_.now(),
+                                 lan_tx)
+                    : sim_.now();
+            for (NodeId to : nodes) {
+              Time arrival = seg_done + config_.propagation_delay_us;
+              if (config_.jitter_us > 0) {
+                arrival += static_cast<Duration>(rng_.next_below(
+                    static_cast<std::uint64_t>(config_.jitter_us) + 1));
+              }
+              deliver(from, to, shared, arrival);
+            }
+          });
+    }
+  });
+}
+
+void Network::set_segments(const std::vector<std::vector<NodeId>>& segments,
+                           WanConfig wan) {
+  std::vector<int> assignment(nodes_.size(), -1);
+  int index = 0;
+  for (const auto& segment : segments) {
+    for (NodeId n : segment) {
+      PLWG_ASSERT(n.valid() && n.value() < nodes_.size());
+      PLWG_ASSERT_MSG(assignment[n.value()] == -1,
+                      "node listed in two segments");
+      assignment[n.value()] = index;
+    }
+    ++index;
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    PLWG_ASSERT_MSG(assignment[i] != -1,
+                    "node missing from segment specification");
+    nodes_[i].segment = assignment[i];
+  }
+  wan_ = wan;
+  multi_segment_ = segments.size() > 1;
+  bus_free_at_.clear();
+  wan_free_at_.clear();
+  PLWG_INFO("net", "topology: ", segments.size(), " LAN segments");
+}
+
+int Network::segment_of(NodeId n) const {
+  PLWG_ASSERT(n.value() < nodes_.size());
+  return nodes_[n.value()].segment;
+}
+
+void Network::unicast(NodeId from, NodeId to, std::vector<std::uint8_t> data) {
+  const NodeId dests[] = {to};
+  multicast(from, dests, std::move(data));
+}
+
+void Network::deliver(NodeId from, NodeId to,
+                      std::shared_ptr<const std::vector<std::uint8_t>> data,
+                      Time arrival) {
+  // Receiver CPU is a FIFO queue: processing starts when both the packet
+  // has arrived and the CPU is free, and takes node_process_cost_us. The
+  // CPU slot is claimed *at arrival* — claiming it at send time would let a
+  // slow (e.g. cross-WAN) packet reserve the CPU into the future and starve
+  // packets that arrive earlier.
+  sim_.schedule_at(arrival, [this, from, to, data = std::move(data)] {
+    NodeState& receiver = nodes_[to.value()];
+    const Time start = std::max(sim_.now(), receiver.cpu_free_at);
+    const Time done = start + config_.node_process_cost_us;
+    receiver.cpu_free_at = done;
+    sim_.schedule_at(done, [this, from, to, data] {
+      NodeState& r = nodes_[to.value()];
+      if (r.crashed) return;
+      stats_.deliveries++;
+      r.handler->on_packet(from, std::span<const std::uint8_t>(*data));
+    });
+  });
+}
+
+void Network::set_partitions(const std::vector<std::vector<NodeId>>& classes) {
+  std::vector<int> assignment(nodes_.size(), -1);
+  for (const auto& cls : classes) {
+    const int token = next_partition_token_++;
+    for (NodeId n : cls) {
+      PLWG_ASSERT(n.valid() && n.value() < nodes_.size());
+      PLWG_ASSERT_MSG(assignment[n.value()] == -1,
+                      "node listed in two partition classes");
+      assignment[n.value()] = token;
+    }
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    PLWG_ASSERT_MSG(assignment[i] != -1,
+                    "node missing from partition specification");
+    nodes_[i].partition = assignment[i];
+  }
+  // New reachability classes restart the queues.
+  bus_free_at_.clear();
+  wan_free_at_.clear();
+  PLWG_INFO("net", "network partitioned into ", classes.size(), " classes");
+}
+
+void Network::heal() {
+  const int token = next_partition_token_++;
+  for (auto& node : nodes_) node.partition = token;
+  bus_free_at_.clear();
+  wan_free_at_.clear();
+  PLWG_INFO("net", "network healed");
+}
+
+bool Network::reachable(NodeId a, NodeId b) const {
+  PLWG_ASSERT(a.value() < nodes_.size() && b.value() < nodes_.size());
+  const NodeState& na = nodes_[a.value()];
+  const NodeState& nb = nodes_[b.value()];
+  return !na.crashed && !nb.crashed && na.partition == nb.partition;
+}
+
+int Network::partition_of(NodeId n) const {
+  PLWG_ASSERT(n.value() < nodes_.size());
+  return nodes_[n.value()].partition;
+}
+
+void Network::crash(NodeId n) {
+  PLWG_ASSERT(n.value() < nodes_.size());
+  nodes_[n.value()].crashed = true;
+  PLWG_INFO("net", "node ", n, " crashed");
+}
+
+bool Network::crashed(NodeId n) const {
+  PLWG_ASSERT(n.value() < nodes_.size());
+  return nodes_[n.value()].crashed;
+}
+
+void Network::charge_cpu(NodeId n, Duration cost_us) {
+  PLWG_ASSERT(n.value() < nodes_.size());
+  PLWG_ASSERT(cost_us >= 0);
+  NodeState& node = nodes_[n.value()];
+  node.cpu_free_at = std::max(sim_.now(), node.cpu_free_at) + cost_us;
+}
+
+}  // namespace plwg::sim

@@ -1,0 +1,166 @@
+// Simulated network with a shared-medium (Ethernet-like) cost model and
+// partition support.
+//
+// The paper's evaluation ran on a loaded 10 Mbps shared Ethernet with IP
+// multicast. The effects it measures — interference between unrelated
+// groups, shared failure-detection and flush cost — are *contention*
+// effects, so the model charges:
+//   * one bus occupancy per transmission (multicast reaches every
+//     destination with a single occupancy, like IP multicast),
+//   * a FIFO bus queue per partition segment with finite bandwidth,
+//   * a per-packet CPU processing cost at each receiver (its own FIFO
+//     queue), which is what makes "receive and filter out" traffic costly.
+//
+// Partitions are reachability classes: a packet reaches only destinations in
+// the sender's class at send time. Healing restores one class. A "virtual
+// partition" (paper Sect. 4) is simulated the same way, only shorter-lived.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace plwg::sim {
+
+struct NetworkConfig {
+  /// Bus propagation delay, microseconds.
+  Duration propagation_delay_us = 50;
+  /// CPU cost to receive + process one packet at a node, microseconds.
+  Duration node_process_cost_us = 100;
+  /// Shared bus bandwidth, bits per second (paper: 10 Mbps Ethernet).
+  double bandwidth_bps = 10e6;
+  /// Per-packet framing overhead added to the payload (UDP/IP + Ethernet).
+  std::size_t header_bytes = 46;
+  /// Probability a given delivery is dropped (per destination).
+  double drop_probability = 0.0;
+  /// Extra uniform delivery jitter in [0, jitter_us].
+  Duration jitter_us = 0;
+  /// When false, the bus queue is skipped: packets only pay propagation and
+  /// processing cost. Useful for protocol-logic tests.
+  bool shared_bus = true;
+  /// RNG seed for drops/jitter.
+  std::uint64_t seed = 42;
+};
+
+/// Inter-LAN backbone parameters for multi-segment topologies.
+struct WanConfig {
+  /// One-way propagation across the backbone, microseconds.
+  Duration propagation_delay_us = 2'000;
+  /// Backbone bandwidth, bits per second (shared by all inter-LAN traffic).
+  double bandwidth_bps = 2e6;
+};
+
+/// Interface implemented by every simulated host.
+class NetHandler {
+ public:
+  virtual ~NetHandler() = default;
+  virtual void on_packet(NodeId from, std::span<const std::uint8_t> data) = 0;
+};
+
+struct NetworkStats {
+  std::uint64_t packets_sent = 0;      // transmissions (multicast counts once)
+  std::uint64_t deliveries = 0;        // per-destination deliveries
+  std::uint64_t bytes_sent = 0;        // payload bytes transmitted
+  std::uint64_t bytes_on_wire = 0;     // payload + headers
+  std::uint64_t drops = 0;
+  Duration bus_busy_us = 0;            // accumulated transmission time
+};
+
+class Network {
+ public:
+  Network(Simulator& simulator, NetworkConfig config);
+
+  /// Register a host. The handler must outlive the network.
+  NodeId add_node(NetHandler& handler);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Transmit `data` to every destination in `dests` that is reachable from
+  /// `from` and alive. One bus occupancy regardless of destination count.
+  void multicast(NodeId from, std::span<const NodeId> dests,
+                 std::vector<std::uint8_t> data);
+
+  void unicast(NodeId from, NodeId to, std::vector<std::uint8_t> data);
+
+  // --- topology -----------------------------------------------------------
+  /// Split the nodes into LAN segments connected by a store-and-forward
+  /// WAN backbone. Intra-segment traffic uses that segment's shared bus as
+  /// before; inter-segment deliveries additionally traverse the backbone
+  /// (its own queue + propagation) and the destination segment's bus.
+  /// Every node must appear in exactly one segment. Orthogonal to
+  /// partitions (cutting the WAN is expressed as a partition along segment
+  /// lines). The default is a single segment (no backbone hops).
+  void set_segments(const std::vector<std::vector<NodeId>>& segments,
+                    WanConfig wan);
+  [[nodiscard]] int segment_of(NodeId n) const;
+
+  // --- partitions -------------------------------------------------------
+  /// Split the network into the given reachability classes. Every node must
+  /// appear in exactly one class. Bus queues restart per class.
+  void set_partitions(const std::vector<std::vector<NodeId>>& classes);
+
+  /// Restore full connectivity (all nodes in one class).
+  void heal();
+
+  [[nodiscard]] bool reachable(NodeId a, NodeId b) const;
+  [[nodiscard]] int partition_of(NodeId n) const;
+
+  // --- crashes ----------------------------------------------------------
+  /// Crash a node: it no longer sends or receives. Permanent.
+  void crash(NodeId n);
+  [[nodiscard]] bool crashed(NodeId n) const;
+
+  /// Charge protocol-processing time to a node's CPU: subsequent packet
+  /// deliveries at that node queue behind it. Models expensive per-message
+  /// protocol work (e.g. membership operations) sharing the CPU with packet
+  /// reception — the source of the paper's per-group recovery overhead.
+  void charge_cpu(NodeId n, Duration cost_us);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+
+ private:
+  struct NodeState {
+    NetHandler* handler = nullptr;
+    int partition = 0;
+    int segment = 0;
+    bool crashed = false;
+    Time cpu_free_at = 0;  // receiver CPU queue
+  };
+
+  [[nodiscard]] Duration transmission_time(std::size_t payload_bytes,
+                                           double bandwidth_bps) const;
+  void deliver(NodeId from, NodeId to,
+               std::shared_ptr<const std::vector<std::uint8_t>> data,
+               Time arrival);
+  /// Bus-queue key: partition class x LAN segment.
+  [[nodiscard]] static std::int64_t bus_key(int partition, int segment) {
+    return (static_cast<std::int64_t>(partition) << 20) | segment;
+  }
+  /// Occupies the given bus from `earliest`; returns transmission end.
+  Time occupy_bus(std::int64_t key, Time earliest, Duration tx_time);
+
+  Simulator& sim_;
+  NetworkConfig config_;
+  WanConfig wan_;
+  bool multi_segment_ = false;
+  Rng rng_;
+  std::vector<NodeState> nodes_;
+  // Bus queue heads per (partition class, segment); backbone queue per
+  // partition class. Reset when the partition layout changes.
+  std::unordered_map<std::int64_t, Time> bus_free_at_;
+  std::unordered_map<int, Time> wan_free_at_;
+  int next_partition_token_ = 1;
+  NetworkStats stats_;
+};
+
+}  // namespace plwg::sim

@@ -1,0 +1,78 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace plwg::sim {
+
+TimerId Simulator::schedule_at(Time t, std::function<void()> fn) {
+  PLWG_ASSERT_MSG(t >= now_, "scheduling into the past");
+  PLWG_ASSERT(fn != nullptr);
+  const TimerId id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+TimerId Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  PLWG_ASSERT_MSG(delay >= 0, "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(TimerId id) { callbacks_.erase(id); }
+
+bool Simulator::fire_next() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    // Move the callback out before invoking: the callback may schedule or
+    // cancel other events, invalidating iterators.
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.time;
+    ++events_run_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() { return fire_next(); }
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && fire_next()) ++n;
+  PLWG_ASSERT_MSG(n < max_events, "simulator event budget exhausted");
+  return n;
+}
+
+std::size_t Simulator::run_until(Time t, std::size_t max_events) {
+  PLWG_ASSERT(t >= now_);
+  std::size_t n = 0;
+  while (n < max_events) {
+    // Peek: skip over cancelled entries to find the next live event time.
+    bool fired = false;
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (!callbacks_.contains(top.id)) {
+        queue_.pop();
+        continue;
+      }
+      if (top.time > t) break;
+      fired = fire_next();
+      break;
+    }
+    if (!fired) break;
+    ++n;
+  }
+  PLWG_ASSERT_MSG(n < max_events, "simulator event budget exhausted");
+  now_ = t;
+  return n;
+}
+
+std::size_t Simulator::pending_events() const { return callbacks_.size(); }
+
+}  // namespace plwg::sim

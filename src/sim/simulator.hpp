@@ -1,0 +1,79 @@
+// Deterministic discrete-event simulator.
+//
+// All protocol layers run as callbacks scheduled on this event loop. Events
+// with equal timestamps fire in scheduling order (a monotonic sequence number
+// breaks ties), which makes every experiment bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace plwg::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+using TimerId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute simulated time `t` (>= now).
+  TimerId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` microseconds.
+  TimerId schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// no-op (protocols routinely cancel timers that may have fired).
+  void cancel(TimerId id);
+
+  /// Run the earliest pending event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `max_events` fire. Returns events run.
+  std::size_t run(std::size_t max_events = kDefaultMaxEvents);
+
+  /// Run all events with time <= `t`, then advance the clock to `t`.
+  /// Returns the number of events run.
+  std::size_t run_until(Time t, std::size_t max_events = kDefaultMaxEvents);
+
+  [[nodiscard]] std::size_t pending_events() const;
+  [[nodiscard]] std::size_t total_events_run() const { return events_run_; }
+
+  /// Guard against accidental infinite event loops in tests/benches.
+  static constexpr std::size_t kDefaultMaxEvents = 100'000'000;
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    TimerId id;
+    // Ordered for a min-heap via std::greater.
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool fire_next();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  TimerId next_id_ = 1;
+  std::size_t events_run_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Callbacks live here; cancelled ids are simply erased and skipped when
+  // their queue entry surfaces.
+  std::unordered_map<TimerId, std::function<void()>> callbacks_;
+};
+
+}  // namespace plwg::sim

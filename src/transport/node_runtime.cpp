@@ -1,0 +1,70 @@
+#include "transport/node_runtime.hpp"
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace plwg::transport {
+
+NodeRuntime::NodeRuntime(sim::Network& net)
+    : net_(net), id_(net.add_node(*this)) {}
+
+void NodeRuntime::register_port(Port port, PortHandler& handler) {
+  const auto idx = static_cast<std::size_t>(port);
+  PLWG_ASSERT(idx < kPortCount);
+  PLWG_ASSERT_MSG(handlers_[idx] == nullptr, "port already registered");
+  handlers_[idx] = &handler;
+}
+
+std::vector<std::uint8_t> NodeRuntime::frame(Port port,
+                                             const Encoder& payload) const {
+  std::vector<std::uint8_t> packet;
+  packet.reserve(payload.size() + 1);
+  packet.push_back(static_cast<std::uint8_t>(port));
+  packet.insert(packet.end(), payload.bytes().begin(), payload.bytes().end());
+  return packet;
+}
+
+void NodeRuntime::send(Port port, NodeId to, const Encoder& payload) {
+  net_.unicast(id_, to, frame(port, payload));
+}
+
+void NodeRuntime::multicast(Port port, std::span<const NodeId> dests,
+                            const Encoder& payload) {
+  net_.multicast(id_, dests, frame(port, payload));
+}
+
+void NodeRuntime::multicast(Port port, std::span<const ProcessId> dests,
+                            const Encoder& payload) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(dests.size());
+  for (ProcessId p : dests) nodes.push_back(node_of(p));
+  net_.multicast(id_, nodes, frame(port, payload));
+}
+
+sim::TimerId NodeRuntime::after(Duration delay, std::function<void()> fn) {
+  return simulator().schedule_after(
+      delay, [this, fn = std::move(fn)] {
+        if (net_.crashed(id_)) return;
+        fn();
+      });
+}
+
+void NodeRuntime::on_packet(NodeId from, std::span<const std::uint8_t> data) {
+  if (data.empty()) {
+    PLWG_WARN("transport", "empty packet from node ", from);
+    return;
+  }
+  const auto idx = static_cast<std::size_t>(data[0]);
+  if (idx >= kPortCount || handlers_[idx] == nullptr) {
+    PLWG_WARN("transport", "packet for unbound port ", idx, " from ", from);
+    return;
+  }
+  Decoder dec(data.subspan(1));
+  try {
+    handlers_[idx]->on_message(from, dec);
+  } catch (const CodecError& e) {
+    PLWG_ERROR("transport", "malformed packet from ", from, ": ", e.what());
+  }
+}
+
+}  // namespace plwg::transport

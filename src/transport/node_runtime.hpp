@@ -1,0 +1,82 @@
+// Per-host runtime: owns the host's network identity, demultiplexes inbound
+// packets to the services running on the host (vsync stack, naming service,
+// application), and provides timer conveniences.
+//
+// Wire format of every packet: [u8 port][payload...]. Each service parses
+// its own payload with the bounds-checked Decoder.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <span>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/codec.hpp"
+#include "util/types.hpp"
+
+namespace plwg::transport {
+
+/// Service multiplexing key, one per protocol stack on a host.
+enum class Port : std::uint8_t {
+  kVsync = 1,   // heavy-weight group layer
+  kNaming = 2,  // naming service (client<->server and server<->server)
+  kApp = 3,     // example applications / test fixtures
+};
+
+inline constexpr std::size_t kPortCount = 4;
+
+/// Implemented by each service attached to a port.
+class PortHandler {
+ public:
+  virtual ~PortHandler() = default;
+  /// `dec` is positioned after the port byte.
+  virtual void on_message(NodeId from, Decoder& dec) = 0;
+};
+
+/// Application processes map 1:1 onto nodes; these conversions document the
+/// role change (network address vs. group-membership identity).
+[[nodiscard]] constexpr ProcessId process_of(NodeId n) {
+  return ProcessId{n.value()};
+}
+[[nodiscard]] constexpr NodeId node_of(ProcessId p) { return NodeId{p.value()}; }
+
+class NodeRuntime : public sim::NetHandler {
+ public:
+  explicit NodeRuntime(sim::Network& net);
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] ProcessId process_id() const { return process_of(id_); }
+  [[nodiscard]] sim::Network& network() { return net_; }
+  [[nodiscard]] sim::Simulator& simulator() { return net_.simulator(); }
+  [[nodiscard]] Time now() const { return net_.simulator().now(); }
+
+  /// Attach a service; the handler must outlive the runtime.
+  void register_port(Port port, PortHandler& handler);
+
+  void send(Port port, NodeId to, const Encoder& payload);
+  void multicast(Port port, std::span<const NodeId> dests,
+                 const Encoder& payload);
+  void multicast(Port port, std::span<const ProcessId> dests,
+                 const Encoder& payload);
+
+  /// Schedule a callback on this host after `delay`; no-op if the host has
+  /// crashed by the time it fires.
+  sim::TimerId after(Duration delay, std::function<void()> fn);
+  void cancel(sim::TimerId timer) { simulator().cancel(timer); }
+
+  // sim::NetHandler
+  void on_packet(NodeId from, std::span<const std::uint8_t> data) override;
+
+ private:
+  [[nodiscard]] std::vector<std::uint8_t> frame(
+      Port port, const Encoder& payload) const;
+
+  sim::Network& net_;
+  NodeId id_;
+  std::array<PortHandler*, kPortCount> handlers_{};
+};
+
+}  // namespace plwg::transport

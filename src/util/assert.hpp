@@ -1,0 +1,30 @@
+// Assertion helpers used across the PLWG library.
+//
+// PLWG_ASSERT is active in all build types: protocol state machines in this
+// library rely on internal invariants whose violation indicates a bug, and
+// the simulated experiments must never silently continue past one.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace plwg {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "PLWG assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace plwg
+
+#define PLWG_ASSERT(expr)                                        \
+  do {                                                           \
+    if (!(expr)) ::plwg::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define PLWG_ASSERT_MSG(expr, msg)                            \
+  do {                                                        \
+    if (!(expr)) ::plwg::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

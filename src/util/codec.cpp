@@ -1,0 +1,55 @@
+#include "util/codec.hpp"
+
+namespace plwg {
+
+void Encoder::put_bytes(std::span<const std::uint8_t> bytes) {
+  put_u32(static_cast<std::uint32_t>(bytes.size()));
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Encoder::put_string(std::string_view s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+std::vector<std::uint8_t> Decoder::get_bytes() {
+  const std::uint32_t len = get_u32();
+  require(len);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+std::string Decoder::get_string() {
+  const std::uint32_t len = get_u32();
+  require(len);
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+std::uint32_t Decoder::get_count(std::size_t min_element_bytes) {
+  const std::uint32_t n = get_u32();
+  if (static_cast<std::uint64_t>(n) * min_element_bytes > remaining()) {
+    throw CodecError("decoder: count " + std::to_string(n) +
+                     " exceeds remaining input");
+  }
+  return n;
+}
+
+void Decoder::expect_done() const {
+  if (!done()) {
+    throw CodecError("decoder: " + std::to_string(remaining()) +
+                     " trailing bytes");
+  }
+}
+
+void Decoder::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw CodecError("decoder: need " + std::to_string(n) + " bytes, have " +
+                     std::to_string(remaining()));
+  }
+}
+
+}  // namespace plwg

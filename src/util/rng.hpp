@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be bit-for-bit reproducible across runs and platforms,
+// so the library carries its own generator (xoshiro256++ seeded through
+// splitmix64) instead of relying on implementation-defined std::mt19937
+// distributions.
+#pragma once
+
+#include <cstdint>
+
+namespace plwg {
+
+/// splitmix64: used to stretch a single seed into generator state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256++ deterministic PRNG with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double();
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool next_bool(double p_true);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  [[nodiscard]] double next_exponential(double mean);
+
+  /// Derive an independent child generator (e.g., one per simulated node).
+  [[nodiscard]] Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace plwg

@@ -1,0 +1,77 @@
+// Strong identifier types shared by all PLWG layers.
+//
+// Each layer of the system names a different kind of entity: simulator
+// nodes, group member processes, heavy-weight groups, light-weight groups.
+// Mixing them up is a classic source of protocol bugs, so each gets its own
+// non-convertible type built on StrongId.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace plwg {
+
+/// Simulated time in microseconds since the start of the run.
+using Time = std::int64_t;
+
+/// Duration in microseconds (same representation as Time; kept as an alias
+/// for readability in interfaces).
+using Duration = std::int64_t;
+
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+/// A strongly-typed integral identifier. `Tag` makes distinct instantiations
+/// non-convertible; `Rep` is the underlying representation.
+template <class Tag, class Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  static constexpr StrongId invalid() { return StrongId{}; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  static constexpr Rep kInvalid = std::numeric_limits<Rep>::max();
+  Rep value_ = kInvalid;
+};
+
+template <class Tag, class Rep>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag, Rep> id) {
+  if (!id.valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+/// A node in the simulated network (one per simulated host).
+using NodeId = StrongId<struct NodeIdTag>;
+
+/// An application process that participates in groups. In this simulation
+/// processes map 1:1 onto nodes, but the two name different roles: NodeId is
+/// a network address, ProcessId is a group-membership identity.
+using ProcessId = StrongId<struct ProcessIdTag>;
+
+/// A heavy-weight (virtually synchronous) group.
+using HwgId = StrongId<struct HwgIdTag, std::uint64_t>;
+
+/// A light-weight (user-level) group.
+using LwgId = StrongId<struct LwgIdTag, std::uint64_t>;
+
+}  // namespace plwg
+
+namespace std {
+template <class Tag, class Rep>
+struct hash<plwg::StrongId<Tag, Rep>> {
+  size_t operator()(plwg::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

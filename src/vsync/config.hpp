@@ -1,0 +1,41 @@
+// Tunables of the heavy-weight group protocol.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace plwg::vsync {
+
+struct VsyncConfig {
+  /// Heartbeat period per member per group.
+  Duration heartbeat_interval_us = 200'000;
+  /// A peer silent for this long is suspected (must be a few heartbeats).
+  Duration suspect_timeout_us = 1'000'000;
+  /// Coordinator retries a stalled flush phase after this long; members that
+  /// still have not answered become suspected.
+  Duration flush_retry_us = 600'000;
+  /// Joiner re-sends its JOIN_REQ at this period until a view arrives.
+  Duration join_retry_us = 500'000;
+  /// Coordinator batches join/leave requests for this long before starting
+  /// a view change (avoids one flush per joiner on group start-up).
+  Duration membership_batch_us = 20'000;
+  /// Period of coordinator merge probes to known peers outside the view.
+  Duration merge_probe_interval_us = 1'000'000;
+  /// Merge leader / follower abandon a merge attempt after this long.
+  Duration merge_timeout_us = 3'000'000;
+  /// Gap-detection period for NACK-based retransmission.
+  Duration nack_check_us = 150'000;
+  /// If an endpoint sits in a non-active state this long, the legitimate
+  /// coordinator restarts the view change (self-healing watchdog).
+  Duration stuck_watchdog_us = 2'000'000;
+  /// When true the endpoint answers Stop upcalls itself, immediately.
+  /// (The LWG layer manages StopOk explicitly; simple users set this.)
+  bool auto_stop_ok = false;
+  /// Simulated CPU cost of processing one membership-protocol message
+  /// (flush/ack/cut/new-view). Models the expensive protocol work of a view
+  /// change on period hardware; 0 disables the charge. This is what makes
+  /// per-group recovery cost scale with the number of groups in the Fig. 2
+  /// recovery experiment.
+  Duration membership_msg_cost_us = 0;
+};
+
+}  // namespace plwg::vsync

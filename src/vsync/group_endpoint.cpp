@@ -1,0 +1,413 @@
+// GroupEndpoint: lifecycle, dispatch, failure detection, periodic driver.
+// The data path lives in group_endpoint_data.cpp, the flush / view-change
+// machinery in group_endpoint_flush.cpp, and the partition-merge machinery
+// in group_endpoint_merge.cpp.
+#include "vsync/group_endpoint.hpp"
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "vsync/vsync_host.hpp"
+
+namespace plwg::vsync {
+
+GroupEndpoint::GroupEndpoint(VsyncHost& host, HwgId gid, GroupUser& user)
+    : host_(host), gid_(gid), user_(user) {}
+
+GroupEndpoint::~GroupEndpoint() = default;
+
+const View& GroupEndpoint::view() const {
+  PLWG_ASSERT_MSG(has_view_, "no view installed");
+  return view_;
+}
+
+ProcessId GroupEndpoint::self() const { return host_.self(); }
+
+Time GroupEndpoint::now() const { return host_.node().now(); }
+
+const VsyncConfig& GroupEndpoint::config() const { return host_.config(); }
+
+ProcessId GroupEndpoint::acting_coordinator() const {
+  if (!has_view_) return ProcessId::invalid();
+  const MemberSet alive = view_.members.set_difference(suspected_);
+  if (alive.empty()) return self();
+  return alive.min_member();
+}
+
+bool GroupEndpoint::is_acting_coordinator() const {
+  return has_view_ && acting_coordinator() == self();
+}
+
+void GroupEndpoint::set_state(State s) {
+  if (state_ == s) return;
+  state_ = s;
+  state_since_ = now();
+}
+
+void GroupEndpoint::create() {
+  PLWG_ASSERT_MSG(!has_view_, "create on an endpoint that has a view");
+  View v;
+  v.id = ViewId{self(), ++next_view_seq_};
+  v.members = MemberSet{self()};
+  install_view(v);
+}
+
+void GroupEndpoint::join(const MemberSet& contacts) {
+  PLWG_ASSERT_MSG(!has_view_, "join on an endpoint that has a view");
+  PLWG_ASSERT_MSG(!contacts.empty(), "join needs at least one contact");
+  join_contacts_ = contacts;
+  set_state(State::kJoining);
+  send_join_req();
+}
+
+void GroupEndpoint::leave() {
+  if (defunct()) return;
+  if (!has_view_) {
+    // Still joining: just abandon the attempt.
+    become_defunct();
+    return;
+  }
+  if (view_.members.size() == 1) {
+    // Sole member: the group dissolves with us.
+    become_defunct();
+    return;
+  }
+  leave_requested_ = true;
+  if (is_acting_coordinator()) {
+    pending_leavers_.insert(self());
+    schedule_view_change();
+  } else {
+    Encoder body;
+    LeaveReqMsg{self()}.encode(body);
+    unicast(acting_coordinator(), MsgType::kLeaveReq, body);
+  }
+}
+
+void GroupEndpoint::send(std::vector<std::uint8_t> payload) {
+  if (defunct()) return;
+  stats_.msgs_sent++;
+  submit_send(std::move(payload));
+}
+
+void GroupEndpoint::force_flush() {
+  if (!has_view_ || state_ != State::kActive || !is_acting_coordinator() ||
+      flush_op_ || merge_leader_ || merge_follow_) {
+    return;
+  }
+  initiate_view_change(/*for_merge=*/false);
+}
+
+void GroupEndpoint::stop_ok() {
+  if (!part_flush_ || !part_flush_->stop_delivered || part_flush_->stop_acked) {
+    return;
+  }
+  part_flush_->stop_acked = true;
+  maybe_send_flush_ack();
+}
+
+void GroupEndpoint::install_view(const View& view) {
+  PLWG_ASSERT(view.members.contains(self()));
+  view_ = view;
+  has_view_ = true;
+  reset_view_state();
+  known_peers_ = known_peers_.set_union(view.members).set_difference(departed_);
+  pending_joiners_ = pending_joiners_.set_difference(view.members);
+  // Keep only leave requests from processes still in the view.
+  pending_leavers_ = pending_leavers_.set_intersection(view.members);
+  set_state(State::kActive);
+  stats_.views_installed++;
+  PLWG_DEBUG("vsync", "p", self(), " g", gid_, " installed ", view_);
+  user_.on_view(gid_, view_);
+  if (defunct()) return;  // user may have left during the upcall
+  flush_pending_sends();
+  // Sends not yet delivered anywhere in our lineage resurface in this view.
+  resend_unacked(/*force=*/true);
+  // Re-inject SEND_REQs buffered while the previous view was flushing.
+  std::deque<SendReqMsg> queue;
+  queue.swap(resequence_queue_);
+  for (SendReqMsg& req : queue) {
+    if (!view_.members.contains(req.origin)) continue;
+    if (view_.coordinator() == self()) {
+      order_and_multicast(req.origin, req.sender_msg_id,
+                          std::move(req.payload), req.first_unacked);
+    } else {
+      req.view = view_.id;
+      Encoder body;
+      req.encode(body);
+      unicast(view_.coordinator(), MsgType::kSendReq, body);
+    }
+  }
+  if (is_acting_coordinator() &&
+      (!pending_joiners_.empty() || !pending_leavers_.empty())) {
+    schedule_view_change();
+  }
+}
+
+void GroupEndpoint::reset_view_state() {
+  msg_log_.clear();
+  delivered_set_.clear();
+  ordered_smids_.clear();
+  order_buffer_.clear();
+  delivered_upto_ = 0;
+  max_seen_ = 0;
+  next_order_seq_ = 1;
+  suspected_ = MemberSet{};
+  last_heard_.clear();
+  const Time t = now();
+  for (ProcessId p : view_.members.members()) last_heard_[p] = t;
+  part_flush_.reset();
+  flush_op_.reset();
+  merge_follow_.reset();
+  batch_deadline_ = -1;
+}
+
+void GroupEndpoint::become_defunct() {
+  set_state(State::kLeft);
+  has_view_ = false;
+  flush_op_.reset();
+  part_flush_.reset();
+  merge_leader_.reset();
+  merge_follow_.reset();
+}
+
+void GroupEndpoint::note_heard(ProcessId p) {
+  if (!has_view_ || !view_.members.contains(p)) return;
+  last_heard_[p] = now();
+}
+
+void GroupEndpoint::update_suspicions() {
+  if (!has_view_) return;
+  const Time deadline = now() - config().suspect_timeout_us;
+  bool changed = false;
+  for (ProcessId p : view_.members.members()) {
+    if (p == self() || suspected_.contains(p)) continue;
+    auto it = last_heard_.find(p);
+    const Time heard = (it == last_heard_.end()) ? state_since_ : it->second;
+    if (heard < deadline) {
+      suspected_.insert(p);
+      changed = true;
+      PLWG_DEBUG("vsync", "p", self(), " g", gid_, " suspects ", p);
+    }
+  }
+  if (changed && is_acting_coordinator()) schedule_view_change();
+}
+
+void GroupEndpoint::unicast(ProcessId to, MsgType type, const Encoder& body) {
+  host_.send_group_msg(gid_, to, type, body);
+}
+
+void GroupEndpoint::multicast(const MemberSet& to, MsgType type,
+                              const Encoder& body) {
+  host_.multicast_group_msg(gid_, to, type, body);
+}
+
+void GroupEndpoint::on_tick() {
+  if (defunct()) return;
+  const Time t = now();
+  const VsyncConfig& cfg = config();
+
+  if (state_ == State::kJoining) {
+    if (last_join_req_ < 0 || t - last_join_req_ >= cfg.join_retry_us) {
+      send_join_req();
+    }
+    return;
+  }
+  if (!has_view_) return;
+
+  // Heartbeats keep the failure detector fed in every state.
+  if (view_.members.size() > 1 &&
+      (last_heartbeat_sent_ < 0 ||
+       t - last_heartbeat_sent_ >= cfg.heartbeat_interval_us)) {
+    last_heartbeat_sent_ = t;
+    const std::uint64_t high_water =
+        view_.coordinator() == self() ? next_order_seq_ - 1 : 0;
+    Encoder body;
+    HeartbeatMsg{view_.id, self(), high_water}.encode(body);
+    MemberSet others = view_.members;
+    others.erase(self());
+    multicast(others, MsgType::kHeartbeat, body);
+  }
+
+  update_suspicions();
+
+  // Re-send a pending leave request in case it was lost.
+  if (leave_requested_ && !is_acting_coordinator() &&
+      (last_leave_req_ < 0 || t - last_leave_req_ >= cfg.join_retry_us)) {
+    last_leave_req_ = t;
+    Encoder body;
+    LeaveReqMsg{self()}.encode(body);
+    unicast(acting_coordinator(), MsgType::kLeaveReq, body);
+  }
+
+  if (t - last_nack_check_ >= cfg.nack_check_us) {
+    last_nack_check_ = t;
+    check_nacks();
+    resend_unacked(/*force=*/false);
+  }
+
+  // Membership batch expiry.
+  if (batch_deadline_ >= 0 && t >= batch_deadline_) {
+    batch_deadline_ = -1;
+    if (is_acting_coordinator() && !flush_op_ && !merge_leader_ &&
+        !merge_follow_ &&
+        (!pending_joiners_.empty() || !pending_leavers_.empty() ||
+         !suspected_.empty())) {
+      initiate_view_change(/*for_merge=*/false);
+    }
+  }
+
+  // Flush progress / retry.
+  if (flush_op_ && t - flush_op_->started_at >= cfg.flush_retry_us) {
+    flush_phase_timeout();
+  }
+
+  // Merge probe + timeouts.
+  if (merge_leader_ && t - merge_leader_->started_at >= cfg.merge_timeout_us) {
+    merge_timeout();
+  }
+  if (merge_follow_ && t - merge_follow_->started_at >= cfg.merge_timeout_us) {
+    merge_follow_.reset();
+    if (flush_op_ && flush_op_->for_merge) flush_op_->for_merge = false;
+  }
+  if (state_ == State::kActive && is_acting_coordinator() && !flush_op_ &&
+      !merge_leader_ && !merge_follow_ &&
+      t - last_probe_sent_ >= cfg.merge_probe_interval_us) {
+    last_probe_sent_ = t;
+    send_merge_probe();
+  }
+
+  // Watchdog: a member wedged mid-view-change re-forms the view if it is the
+  // legitimate coordinator (covers crashed initiators and lost merges).
+  if ((state_ == State::kStopping || state_ == State::kFlushing ||
+       state_ == State::kStopped) &&
+      t - state_since_ >= cfg.stuck_watchdog_us && is_acting_coordinator() &&
+      !flush_op_ && !merge_leader_) {
+    merge_follow_.reset();
+    PLWG_DEBUG("vsync", "p", self(), " g", gid_, " watchdog re-forms view");
+    initiate_view_change(/*for_merge=*/false);
+  }
+}
+
+void GroupEndpoint::on_message(ProcessId from, MsgType type, Decoder& dec) {
+  if (defunct()) return;
+  // Failure-detector feed: only traffic of the *shared view's* protocols
+  // counts as liveness. Merge probes and join requests deliberately do not
+  // — a process excluded from its peers' current view must still suspect
+  // them, take over its own stale view, and meet them through the merge
+  // path; hearing their probes must not keep its stale trust alive.
+  switch (type) {
+    case MsgType::kSendReq:
+    case MsgType::kOrdered:
+    case MsgType::kNack:
+    case MsgType::kHeartbeat:
+    case MsgType::kFlushReq:
+    case MsgType::kFlushAck:
+    case MsgType::kFlushReject:
+    case MsgType::kFetch:
+    case MsgType::kFetchReply:
+    case MsgType::kFlushCut:
+    case MsgType::kFlushDone:
+    case MsgType::kNewView:
+      note_heard(from);
+      break;
+    default:
+      break;
+  }
+  // Membership-protocol messages carry a configurable CPU charge (see
+  // VsyncConfig::membership_msg_cost_us).
+  switch (type) {
+    case MsgType::kFlushReq:
+    case MsgType::kFlushAck:
+    case MsgType::kFlushReject:
+    case MsgType::kFetch:
+    case MsgType::kFetchReply:
+    case MsgType::kFlushCut:
+    case MsgType::kFlushDone:
+    case MsgType::kNewView:
+      if (config().membership_msg_cost_us > 0) {
+        host_.node().network().charge_cpu(host_.node().id(),
+                                          config().membership_msg_cost_us);
+      }
+      break;
+    default:
+      break;
+  }
+  switch (type) {
+    case MsgType::kJoinReq:
+      on_join_req(JoinReqMsg::decode(dec));
+      break;
+    case MsgType::kLeaveReq:
+      on_leave_req(LeaveReqMsg::decode(dec));
+      break;
+    case MsgType::kSendReq:
+      on_send_req(SendReqMsg::decode(dec));
+      break;
+    case MsgType::kOrdered:
+      on_ordered(OrderedMsgWire::decode(dec));
+      break;
+    case MsgType::kNack:
+      on_nack(from, NackMsg::decode(dec));
+      break;
+    case MsgType::kHeartbeat: {
+      const HeartbeatMsg hb = HeartbeatMsg::decode(dec);
+      // The sequencer's advertised high-water mark exposes tail losses to
+      // the NACK-based repair.
+      if (view_matches(hb.view) && hb.sender == view_.coordinator()) {
+        max_seen_ = std::max(max_seen_, hb.max_seq);
+      }
+      break;
+    }
+    case MsgType::kFlushReq:
+      on_flush_req(from, FlushReqMsg::decode(dec));
+      break;
+    case MsgType::kFlushAck:
+      on_flush_ack(FlushAckMsg::decode(dec));
+      break;
+    case MsgType::kFlushReject:
+      on_flush_reject(FlushRejectMsg::decode(dec));
+      break;
+    case MsgType::kFetch:
+      on_fetch(from, FetchMsg::decode(dec));
+      break;
+    case MsgType::kFetchReply:
+      on_fetch_reply(FetchReplyMsg::decode(dec));
+      break;
+    case MsgType::kFlushCut:
+      on_flush_cut(FlushCutMsg::decode(dec));
+      break;
+    case MsgType::kFlushDone:
+      on_flush_done(FlushDoneMsg::decode(dec));
+      break;
+    case MsgType::kNewView:
+      on_new_view(NewViewMsg::decode(dec));
+      break;
+    case MsgType::kMergeProbe:
+      on_merge_probe(MergeProbeMsg::decode(dec));
+      break;
+    case MsgType::kMergeReply:
+      on_merge_reply(MergeReplyMsg::decode(dec));
+      break;
+    case MsgType::kMergeStart:
+      on_merge_start(from, MergeStartMsg::decode(dec));
+      break;
+    case MsgType::kMergeFlushed:
+      on_merge_flushed(MergeFlushedMsg::decode(dec));
+      break;
+    case MsgType::kMergeAbort:
+      on_merge_abort(MergeAbortMsg::decode(dec));
+      break;
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, GroupEndpoint::State s) {
+  switch (s) {
+    case GroupEndpoint::State::kJoining: return os << "Joining";
+    case GroupEndpoint::State::kActive: return os << "Active";
+    case GroupEndpoint::State::kStopping: return os << "Stopping";
+    case GroupEndpoint::State::kFlushing: return os << "Flushing";
+    case GroupEndpoint::State::kStopped: return os << "Stopped";
+    case GroupEndpoint::State::kLeft: return os << "Left";
+  }
+  return os << "?";
+}
+
+}  // namespace plwg::vsync

@@ -1,0 +1,193 @@
+// GroupEndpoint data path: sequencer-based totally-ordered multicast with
+// NACK repair.
+//
+// The sequencer is the *view coordinator* (smallest member of the installed
+// view) and is fixed for the lifetime of the view: if it becomes suspected,
+// sends queue locally until the next view. This keeps the total order
+// single-writer — two sequencers can never assign the same sequence number
+// in one view.
+#include "vsync/group_endpoint.hpp"
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "vsync/vsync_host.hpp"
+
+namespace plwg::vsync {
+
+void GroupEndpoint::submit_send(std::vector<std::uint8_t> payload) {
+  if (!has_view_ || state_ != State::kActive ||
+      suspected_.contains(view_.coordinator())) {
+    pending_sends_.push_back(std::move(payload));
+    return;
+  }
+  const std::uint64_t smid = next_sender_msg_id_++;
+  unacked_sends_[smid] = UnackedSend{payload, now()};
+  if (view_.coordinator() == self()) {
+    order_and_multicast(self(), smid, std::move(payload), smid);
+    return;
+  }
+  Encoder body;
+  SendReqMsg{view_.id, self(), smid, unacked_sends_.begin()->first,
+             std::move(payload)}
+      .encode(body);
+  unicast(view_.coordinator(), MsgType::kSendReq, body);
+}
+
+void GroupEndpoint::resend_unacked(bool force) {
+  if (!has_view_ || state_ != State::kActive ||
+      suspected_.contains(view_.coordinator())) {
+    return;
+  }
+  const Time t = now();
+  const Duration interval = 3 * config().nack_check_us;
+  for (auto& [smid, send] : unacked_sends_) {
+    if (!force && t - send.last_sent < interval) continue;
+    send.last_sent = t;
+    if (view_.coordinator() == self()) {
+      // ordered_smids_ de-duplicates if the original made it through.
+      order_and_multicast(self(), smid,
+                          std::vector<std::uint8_t>(send.payload),
+                          unacked_sends_.begin()->first);
+    } else {
+      Encoder body;
+      SendReqMsg{view_.id, self(), smid, unacked_sends_.begin()->first,
+                 std::vector<std::uint8_t>(send.payload)}
+          .encode(body);
+      unicast(view_.coordinator(), MsgType::kSendReq, body);
+    }
+  }
+}
+
+void GroupEndpoint::order_and_multicast(ProcessId origin,
+                                        std::uint64_t sender_msg_id,
+                                        std::vector<std::uint8_t> payload,
+                                        std::uint64_t first_unacked) {
+  PLWG_ASSERT(view_.coordinator() == self());
+  if (state_ != State::kActive) {
+    // A flush is underway: hold the message for the next view.
+    resequence_queue_.push_back(
+        SendReqMsg{view_.id, origin, sender_msg_id, first_unacked,
+                   std::move(payload)});
+    return;
+  }
+  if (!ordered_smids_.insert({origin, sender_msg_id}).second) {
+    return;  // duplicate of a retransmitted send already in the order
+  }
+  OrderedMsgWire wire;
+  wire.view = view_.id;
+  wire.msg.seq = next_order_seq_++;
+  wire.msg.origin = origin;
+  wire.msg.sender_msg_id = sender_msg_id;
+  wire.msg.payload = std::move(payload);
+  Encoder body;
+  wire.encode(body);
+  // Multicast includes self: the sequencer's own copy arrives through the
+  // loopback path so delivery is uniform at every member.
+  multicast(view_.members, MsgType::kOrdered, body);
+}
+
+void GroupEndpoint::on_send_req(const SendReqMsg& msg) {
+  if (!view_matches(msg.view)) return;
+  if (view_.coordinator() != self()) return;  // stale routing
+  if (ordered_smids_.contains({msg.origin, msg.sender_msg_id})) return;
+  auto [it, inserted] =
+      order_buffer_[msg.origin].try_emplace(msg.sender_msg_id, msg);
+  if (!inserted && msg.first_unacked > it->second.first_unacked) {
+    // A retransmission carries fresher progress information; without the
+    // refresh a stale first_unacked could hold the message back forever.
+    it->second = msg;
+  }
+  drain_order_buffer(msg.origin);
+}
+
+void GroupEndpoint::drain_order_buffer(ProcessId origin) {
+  auto it = order_buffer_.find(origin);
+  if (it == order_buffer_.end()) return;
+  auto& pending = it->second;
+  while (!pending.empty()) {
+    auto first = pending.begin();
+    const std::uint64_t smid = first->first;
+    const SendReqMsg& req = first->second;
+    // Orderable iff nothing from this sender can still precede it: either
+    // it is the sender's first outstanding message, or its predecessor has
+    // been ordered in this view.
+    const bool orderable =
+        smid == req.first_unacked ||
+        ordered_smids_.contains({origin, smid - 1});
+    if (!orderable) break;
+    SendReqMsg taken = std::move(first->second);
+    pending.erase(first);
+    order_and_multicast(origin, smid, std::move(taken.payload),
+                        taken.first_unacked);
+  }
+  if (pending.empty()) order_buffer_.erase(it);
+}
+
+void GroupEndpoint::on_ordered(const OrderedMsgWire& wire) {
+  if (!view_matches(wire.view)) return;
+  const std::uint64_t seq = wire.msg.seq;
+  max_seen_ = std::max(max_seen_, seq);
+  msg_log_.emplace(seq, wire.msg);
+  // Delivery continues while the user is being stopped, but freezes once the
+  // FLUSH_ACK (our have-list) is out: anything delivered after that point
+  // might not be in the coordinator's cut.
+  const bool frozen = part_flush_ && part_flush_->ack_sent;
+  if (!frozen) deliver_contiguous();
+}
+
+void GroupEndpoint::deliver_contiguous() {
+  while (true) {
+    auto it = msg_log_.find(delivered_upto_ + 1);
+    if (it == msg_log_.end()) break;
+    ++delivered_upto_;
+    if (delivered_set_.insert(it->first).second) {
+      deliver_one(it->second);
+      if (defunct()) return;
+    }
+  }
+}
+
+void GroupEndpoint::deliver_one(const OrderedMsg& msg) {
+  if (msg.origin == self()) unacked_sends_.erase(msg.sender_msg_id);
+  stats_.msgs_delivered++;
+  user_.on_data(gid_, msg.origin, msg.payload);
+}
+
+void GroupEndpoint::check_nacks() {
+  if (!has_view_ || state_ != State::kActive) return;
+  if (view_.coordinator() == self()) return;
+  if (suspected_.contains(view_.coordinator())) return;
+  std::vector<std::uint64_t> missing;
+  for (std::uint64_t s = delivered_upto_ + 1; s <= max_seen_; ++s) {
+    if (!msg_log_.contains(s)) missing.push_back(s);
+  }
+  if (missing.empty()) return;
+  stats_.nacks_sent++;
+  Encoder body;
+  NackMsg{view_.id, std::move(missing)}.encode(body);
+  unicast(view_.coordinator(), MsgType::kNack, body);
+}
+
+void GroupEndpoint::on_nack(ProcessId from, const NackMsg& msg) {
+  if (!view_matches(msg.view)) return;
+  if (view_.coordinator() != self()) return;
+  for (std::uint64_t seq : msg.missing) {
+    auto it = msg_log_.find(seq);
+    if (it == msg_log_.end()) continue;
+    OrderedMsgWire wire{view_.id, it->second};
+    Encoder body;
+    wire.encode(body);
+    unicast(from, MsgType::kOrdered, body);
+  }
+}
+
+void GroupEndpoint::flush_pending_sends() {
+  while (!pending_sends_.empty() && has_view_ && state_ == State::kActive &&
+         !suspected_.contains(view_.coordinator())) {
+    std::vector<std::uint8_t> payload = std::move(pending_sends_.front());
+    pending_sends_.pop_front();
+    submit_send(std::move(payload));
+  }
+}
+
+}  // namespace plwg::vsync

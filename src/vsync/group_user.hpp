@@ -1,0 +1,34 @@
+// The upcall half of the virtually synchronous interface (paper Table 1).
+//
+// Downcalls (Join / Leave / Send / StopOk) are methods on VsyncHost; upcalls
+// (View / Data / Stop) arrive through this interface. The light-weight group
+// service implements GroupUser; so can applications that want to use a
+// heavy-weight group directly.
+#pragma once
+
+#include <span>
+
+#include "util/types.hpp"
+#include "vsync/view.hpp"
+
+namespace plwg::vsync {
+
+class GroupUser {
+ public:
+  virtual ~GroupUser() = default;
+
+  /// A new view of `gid` was installed at this process.
+  virtual void on_view(HwgId gid, const View& view) = 0;
+
+  /// A totally-ordered multicast from `src` was delivered in the current
+  /// view of `gid`.
+  virtual void on_data(HwgId gid, ProcessId src,
+                       std::span<const std::uint8_t> data) = 0;
+
+  /// Traffic on `gid` must stop (a view change is in progress). The user
+  /// must eventually call VsyncHost::stop_ok(gid); sends issued before then
+  /// may be queued for the next view.
+  virtual void on_stop(HwgId gid) = 0;
+};
+
+}  // namespace plwg::vsync

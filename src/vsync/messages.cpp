@@ -1,0 +1,260 @@
+#include "vsync/messages.hpp"
+
+namespace plwg::vsync {
+
+namespace {
+
+void encode_seqs(Encoder& enc, const std::vector<std::uint64_t>& seqs) {
+  enc.put_u32(static_cast<std::uint32_t>(seqs.size()));
+  for (std::uint64_t s : seqs) enc.put_u64(s);
+}
+
+std::vector<std::uint64_t> decode_seqs(Decoder& dec) {
+  const std::uint32_t n = dec.get_count(sizeof(std::uint64_t));
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) seqs.push_back(dec.get_u64());
+  return seqs;
+}
+
+void encode_msgs(Encoder& enc, const std::vector<OrderedMsg>& msgs) {
+  enc.put_u32(static_cast<std::uint32_t>(msgs.size()));
+  for (const OrderedMsg& m : msgs) m.encode(enc);
+}
+
+std::vector<OrderedMsg> decode_msgs(Decoder& dec) {
+  const std::uint32_t n = dec.get_count(24);
+  std::vector<OrderedMsg> msgs;
+  msgs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) msgs.push_back(OrderedMsg::decode(dec));
+  return msgs;
+}
+
+}  // namespace
+
+void OrderedMsg::encode(Encoder& enc) const {
+  enc.put_u64(seq);
+  enc.put_id(origin);
+  enc.put_u64(sender_msg_id);
+  enc.put_bytes(payload);
+}
+
+OrderedMsg OrderedMsg::decode(Decoder& dec) {
+  OrderedMsg m;
+  m.seq = dec.get_u64();
+  m.origin = dec.get_id<ProcessId>();
+  m.sender_msg_id = dec.get_u64();
+  m.payload = dec.get_bytes();
+  return m;
+}
+
+void SendReqMsg::encode(Encoder& enc) const {
+  view.encode(enc);
+  enc.put_id(origin);
+  enc.put_u64(sender_msg_id);
+  enc.put_u64(first_unacked);
+  enc.put_bytes(payload);
+}
+
+SendReqMsg SendReqMsg::decode(Decoder& dec) {
+  SendReqMsg m;
+  m.view = ViewId::decode(dec);
+  m.origin = dec.get_id<ProcessId>();
+  m.sender_msg_id = dec.get_u64();
+  m.first_unacked = dec.get_u64();
+  m.payload = dec.get_bytes();
+  return m;
+}
+
+void OrderedMsgWire::encode(Encoder& enc) const {
+  view.encode(enc);
+  msg.encode(enc);
+}
+
+OrderedMsgWire OrderedMsgWire::decode(Decoder& dec) {
+  OrderedMsgWire m;
+  m.view = ViewId::decode(dec);
+  m.msg = OrderedMsg::decode(dec);
+  return m;
+}
+
+void NackMsg::encode(Encoder& enc) const {
+  view.encode(enc);
+  encode_seqs(enc, missing);
+}
+
+NackMsg NackMsg::decode(Decoder& dec) {
+  NackMsg m;
+  m.view = ViewId::decode(dec);
+  m.missing = decode_seqs(dec);
+  return m;
+}
+
+void HeartbeatMsg::encode(Encoder& enc) const {
+  view.encode(enc);
+  enc.put_id(sender);
+  enc.put_u64(max_seq);
+}
+
+HeartbeatMsg HeartbeatMsg::decode(Decoder& dec) {
+  HeartbeatMsg m;
+  m.view = ViewId::decode(dec);
+  m.sender = dec.get_id<ProcessId>();
+  m.max_seq = dec.get_u64();
+  return m;
+}
+
+void FlushReqMsg::encode(Encoder& enc) const {
+  old_view.encode(enc);
+  enc.put_u32(epoch);
+  enc.put_id(initiator);
+  proposal.encode(enc);
+}
+
+FlushReqMsg FlushReqMsg::decode(Decoder& dec) {
+  FlushReqMsg m;
+  m.old_view = ViewId::decode(dec);
+  m.epoch = dec.get_u32();
+  m.initiator = dec.get_id<ProcessId>();
+  m.proposal = MemberSet::decode(dec);
+  return m;
+}
+
+void FlushAckMsg::encode(Encoder& enc) const {
+  old_view.encode(enc);
+  enc.put_u32(epoch);
+  enc.put_id(sender);
+  encode_seqs(enc, have);
+}
+
+FlushAckMsg FlushAckMsg::decode(Decoder& dec) {
+  FlushAckMsg m;
+  m.old_view = ViewId::decode(dec);
+  m.epoch = dec.get_u32();
+  m.sender = dec.get_id<ProcessId>();
+  m.have = decode_seqs(dec);
+  return m;
+}
+
+void FlushRejectMsg::encode(Encoder& enc) const {
+  old_view.encode(enc);
+  enc.put_u32(epoch);
+  enc.put_id(sender);
+  suspected.encode(enc);
+}
+
+FlushRejectMsg FlushRejectMsg::decode(Decoder& dec) {
+  FlushRejectMsg m;
+  m.old_view = ViewId::decode(dec);
+  m.epoch = dec.get_u32();
+  m.sender = dec.get_id<ProcessId>();
+  m.suspected = MemberSet::decode(dec);
+  return m;
+}
+
+void FetchMsg::encode(Encoder& enc) const {
+  old_view.encode(enc);
+  enc.put_u32(epoch);
+  encode_seqs(enc, seqs);
+}
+
+FetchMsg FetchMsg::decode(Decoder& dec) {
+  FetchMsg m;
+  m.old_view = ViewId::decode(dec);
+  m.epoch = dec.get_u32();
+  m.seqs = decode_seqs(dec);
+  return m;
+}
+
+void FetchReplyMsg::encode(Encoder& enc) const {
+  old_view.encode(enc);
+  enc.put_u32(epoch);
+  encode_msgs(enc, msgs);
+}
+
+FetchReplyMsg FetchReplyMsg::decode(Decoder& dec) {
+  FetchReplyMsg m;
+  m.old_view = ViewId::decode(dec);
+  m.epoch = dec.get_u32();
+  m.msgs = decode_msgs(dec);
+  return m;
+}
+
+void FlushCutMsg::encode(Encoder& enc) const {
+  old_view.encode(enc);
+  enc.put_u32(epoch);
+  encode_seqs(enc, cut);
+  encode_msgs(enc, retrans);
+}
+
+FlushCutMsg FlushCutMsg::decode(Decoder& dec) {
+  FlushCutMsg m;
+  m.old_view = ViewId::decode(dec);
+  m.epoch = dec.get_u32();
+  m.cut = decode_seqs(dec);
+  m.retrans = decode_msgs(dec);
+  return m;
+}
+
+void FlushDoneMsg::encode(Encoder& enc) const {
+  old_view.encode(enc);
+  enc.put_u32(epoch);
+  enc.put_id(sender);
+}
+
+FlushDoneMsg FlushDoneMsg::decode(Decoder& dec) {
+  FlushDoneMsg m;
+  m.old_view = ViewId::decode(dec);
+  m.epoch = dec.get_u32();
+  m.sender = dec.get_id<ProcessId>();
+  return m;
+}
+
+void MergeProbeMsg::encode(Encoder& enc) const {
+  view.encode(enc);
+  enc.put_id(sender);
+  members.encode(enc);
+}
+
+MergeProbeMsg MergeProbeMsg::decode(Decoder& dec) {
+  MergeProbeMsg m;
+  m.view = ViewId::decode(dec);
+  m.sender = dec.get_id<ProcessId>();
+  m.members = MemberSet::decode(dec);
+  return m;
+}
+
+void MergeStartMsg::encode(Encoder& enc) const {
+  enc.put_u32(merge_epoch);
+  enc.put_id(leader);
+  enc.put_u32(static_cast<std::uint32_t>(parties.size()));
+  for (const ViewId& v : parties) v.encode(enc);
+}
+
+MergeStartMsg MergeStartMsg::decode(Decoder& dec) {
+  MergeStartMsg m;
+  m.merge_epoch = dec.get_u32();
+  m.leader = dec.get_id<ProcessId>();
+  const std::uint32_t n = dec.get_count(12);
+  m.parties.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) m.parties.push_back(ViewId::decode(dec));
+  return m;
+}
+
+void MergeFlushedMsg::encode(Encoder& enc) const {
+  enc.put_u32(merge_epoch);
+  view.encode(enc);
+  enc.put_id(sender);
+  members.encode(enc);
+}
+
+MergeFlushedMsg MergeFlushedMsg::decode(Decoder& dec) {
+  MergeFlushedMsg m;
+  m.merge_epoch = dec.get_u32();
+  m.view = ViewId::decode(dec);
+  m.sender = dec.get_id<ProcessId>();
+  m.members = MemberSet::decode(dec);
+  return m;
+}
+
+}  // namespace plwg::vsync

@@ -1,0 +1,234 @@
+// Wire messages of the heavy-weight group (vsync) protocol.
+//
+// Every packet on Port::kVsync is framed as
+//   [HwgId gid][u8 MsgType][type-specific body]
+// and each body carries the ViewId it pertains to where relevant, so stale
+// traffic from superseded views is filtered deterministically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/codec.hpp"
+#include "util/member_set.hpp"
+#include "util/types.hpp"
+#include "vsync/view.hpp"
+
+namespace plwg::vsync {
+
+enum class MsgType : std::uint8_t {
+  kJoinReq = 1,
+  kLeaveReq,
+  kSendReq,      // sender -> sequencer (view coordinator)
+  kOrdered,      // sequencer -> members, totally ordered
+  kNack,         // member -> sequencer, missing seqs
+  kHeartbeat,
+  kFlushReq,     // view-change coordinator -> old-view members
+  kFlushAck,     // member -> coordinator: have-list
+  kFlushReject,  // member -> would-be coordinator: you are not legitimate
+  kFetch,        // coordinator -> holder: send me these messages
+  kFetchReply,
+  kFlushCut,     // coordinator -> members: final delivery cut + retransmissions
+  kFlushDone,    // member -> coordinator: cut fully delivered
+  kNewView,
+  kMergeProbe,   // coordinator -> known peers outside the view
+  kMergeReply,
+  kMergeStart,   // merge leader -> constituent coordinators
+  kMergeFlushed, // constituent coordinator -> leader
+  kMergeAbort,
+};
+
+/// One totally-ordered message as stored in the per-view log and carried by
+/// kOrdered / retransmissions.
+struct OrderedMsg {
+  std::uint64_t seq = 0;       // position in the view's total order
+  ProcessId origin;            // original sender
+  std::uint64_t sender_msg_id = 0;
+  std::vector<std::uint8_t> payload;
+
+  void encode(Encoder& enc) const;
+  static OrderedMsg decode(Decoder& dec);
+};
+
+struct JoinReqMsg {
+  ProcessId joiner;
+  void encode(Encoder& enc) const { enc.put_id(joiner); }
+  static JoinReqMsg decode(Decoder& dec) {
+    return {dec.get_id<ProcessId>()};
+  }
+};
+
+struct LeaveReqMsg {
+  ProcessId leaver;
+  void encode(Encoder& enc) const { enc.put_id(leaver); }
+  static LeaveReqMsg decode(Decoder& dec) {
+    return {dec.get_id<ProcessId>()};
+  }
+};
+
+struct SendReqMsg {
+  ViewId view;
+  ProcessId origin;
+  std::uint64_t sender_msg_id = 0;
+  /// The sender's smallest not-yet-self-delivered message id. The sequencer
+  /// holds a request back until everything between `first_unacked` and
+  /// `sender_msg_id` is ordered, which preserves per-sender FIFO even when
+  /// an earlier SEND_REQ was lost and retransmitted late.
+  std::uint64_t first_unacked = 0;
+  std::vector<std::uint8_t> payload;
+
+  void encode(Encoder& enc) const;
+  static SendReqMsg decode(Decoder& dec);
+};
+
+struct OrderedMsgWire {
+  ViewId view;
+  OrderedMsg msg;
+
+  void encode(Encoder& enc) const;
+  static OrderedMsgWire decode(Decoder& dec);
+};
+
+struct NackMsg {
+  ViewId view;
+  std::vector<std::uint64_t> missing;
+
+  void encode(Encoder& enc) const;
+  static NackMsg decode(Decoder& dec);
+};
+
+struct HeartbeatMsg {
+  ViewId view;
+  ProcessId sender;
+  /// The sequencer's high-water mark (last sequence number assigned).
+  /// Non-sequencer members send 0. Receivers use it to NACK tail losses
+  /// that no later message would reveal.
+  std::uint64_t max_seq = 0;
+
+  void encode(Encoder& enc) const;
+  static HeartbeatMsg decode(Decoder& dec);
+};
+
+struct FlushReqMsg {
+  ViewId old_view;
+  std::uint32_t epoch = 0;
+  ProcessId initiator;
+  MemberSet proposal;  // membership of the view being prepared
+
+  void encode(Encoder& enc) const;
+  static FlushReqMsg decode(Decoder& dec);
+};
+
+struct FlushAckMsg {
+  ViewId old_view;
+  std::uint32_t epoch = 0;
+  ProcessId sender;
+  std::vector<std::uint64_t> have;  // every seq received in old_view
+
+  void encode(Encoder& enc) const;
+  static FlushAckMsg decode(Decoder& dec);
+};
+
+struct FlushRejectMsg {
+  ViewId old_view;
+  std::uint32_t epoch = 0;
+  ProcessId sender;
+  MemberSet suspected;  // rejector's suspicion set, to help convergence
+
+  void encode(Encoder& enc) const;
+  static FlushRejectMsg decode(Decoder& dec);
+};
+
+struct FetchMsg {
+  ViewId old_view;
+  std::uint32_t epoch = 0;
+  std::vector<std::uint64_t> seqs;
+
+  void encode(Encoder& enc) const;
+  static FetchMsg decode(Decoder& dec);
+};
+
+struct FetchReplyMsg {
+  ViewId old_view;
+  std::uint32_t epoch = 0;
+  std::vector<OrderedMsg> msgs;
+
+  void encode(Encoder& enc) const;
+  static FetchReplyMsg decode(Decoder& dec);
+};
+
+struct FlushCutMsg {
+  ViewId old_view;
+  std::uint32_t epoch = 0;
+  std::vector<std::uint64_t> cut;    // ordered seqs every survivor delivers
+  std::vector<OrderedMsg> retrans;   // contents for anyone missing them
+
+  void encode(Encoder& enc) const;
+  static FlushCutMsg decode(Decoder& dec);
+};
+
+struct FlushDoneMsg {
+  ViewId old_view;
+  std::uint32_t epoch = 0;
+  ProcessId sender;
+
+  void encode(Encoder& enc) const;
+  static FlushDoneMsg decode(Decoder& dec);
+};
+
+struct NewViewMsg {
+  View view;
+  /// Voluntary leavers in this change: receivers drop them from the merge
+  /// probe target set (crash/partition exclusions stay probeable).
+  MemberSet departed;
+
+  void encode(Encoder& enc) const {
+    view.encode(enc);
+    departed.encode(enc);
+  }
+  static NewViewMsg decode(Decoder& dec) {
+    NewViewMsg m;
+    m.view = View::decode(dec);
+    m.departed = MemberSet::decode(dec);
+    return m;
+  }
+};
+
+struct MergeProbeMsg {
+  ViewId view;
+  ProcessId sender;  // acting coordinator of `view`
+  MemberSet members;
+
+  void encode(Encoder& enc) const;
+  static MergeProbeMsg decode(Decoder& dec);
+};
+
+using MergeReplyMsg = MergeProbeMsg;  // identical shape, opposite direction
+
+struct MergeStartMsg {
+  std::uint32_t merge_epoch = 0;
+  ProcessId leader;
+  std::vector<ViewId> parties;
+
+  void encode(Encoder& enc) const;
+  static MergeStartMsg decode(Decoder& dec);
+};
+
+struct MergeFlushedMsg {
+  std::uint32_t merge_epoch = 0;
+  ViewId view;              // the constituent view that finished flushing
+  ProcessId sender;
+  MemberSet members;        // its surviving members
+
+  void encode(Encoder& enc) const;
+  static MergeFlushedMsg decode(Decoder& dec);
+};
+
+struct MergeAbortMsg {
+  std::uint32_t merge_epoch = 0;
+
+  void encode(Encoder& enc) const { enc.put_u32(merge_epoch); }
+  static MergeAbortMsg decode(Decoder& dec) { return {dec.get_u32()}; }
+};
+
+}  // namespace plwg::vsync

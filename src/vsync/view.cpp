@@ -1,0 +1,43 @@
+#include "vsync/view.hpp"
+
+#include <sstream>
+
+namespace plwg::vsync {
+
+std::string ViewId::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ViewId& id) {
+  if (!id.valid()) return os << "view<->";
+  os << "view<" << id.coordinator << ":" << id.seq;
+  if (id.disambig != 0) os << "~" << id.disambig % 997;  // short merge tag
+  return os << ">";
+}
+
+void View::encode(Encoder& enc) const {
+  id.encode(enc);
+  members.encode(enc);
+  enc.put_u32(static_cast<std::uint32_t>(predecessors.size()));
+  for (const ViewId& p : predecessors) p.encode(enc);
+}
+
+View View::decode(Decoder& dec) {
+  View view;
+  view.id = ViewId::decode(dec);
+  view.members = MemberSet::decode(dec);
+  const std::uint32_t n = dec.get_count(12);
+  view.predecessors.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    view.predecessors.push_back(ViewId::decode(dec));
+  }
+  return view;
+}
+
+std::ostream& operator<<(std::ostream& os, const View& view) {
+  return os << view.id << view.members;
+}
+
+}  // namespace plwg::vsync

@@ -1,0 +1,81 @@
+// Per-process host of the heavy-weight group layer.
+//
+// Owns one GroupEndpoint per group this process participates in,
+// demultiplexes Port::kVsync packets to them, provides the downcall half of
+// the paper's Table 1 interface, and drives the shared periodic tick.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "transport/node_runtime.hpp"
+#include "util/types.hpp"
+#include "vsync/config.hpp"
+#include "vsync/group_endpoint.hpp"
+#include "vsync/group_user.hpp"
+
+namespace plwg::vsync {
+
+/// Builds a globally unique group id from its creator and a local counter.
+[[nodiscard]] constexpr HwgId make_hwg_id(ProcessId creator,
+                                          std::uint32_t counter) {
+  return HwgId{(static_cast<std::uint64_t>(creator.value()) << 32) | counter};
+}
+
+class VsyncHost : public transport::PortHandler {
+ public:
+  VsyncHost(transport::NodeRuntime& node, VsyncConfig config);
+  ~VsyncHost() override;
+  VsyncHost(const VsyncHost&) = delete;
+  VsyncHost& operator=(const VsyncHost&) = delete;
+
+  /// Allocate a fresh globally-unique group id created by this process.
+  [[nodiscard]] HwgId allocate_group_id();
+
+  // --- Table 1 downcalls -------------------------------------------------
+  /// Found a new group; installs the singleton view synchronously.
+  void create_group(HwgId gid, GroupUser& user);
+  /// Join `gid` through any of `contacts` (e.g. members published in the
+  /// naming service). The View upcall signals completion.
+  void join_group(HwgId gid, const MemberSet& contacts, GroupUser& user);
+  void leave_group(HwgId gid);
+  void send(HwgId gid, std::vector<std::uint8_t> data);
+  void stop_ok(HwgId gid);
+  /// Force a flush + view re-installation with unchanged membership (no-op
+  /// unless this process is the group's acting coordinator and idle).
+  void force_flush(HwgId gid);
+
+  // --- introspection -------------------------------------------------------
+  [[nodiscard]] bool is_member(HwgId gid) const;
+  [[nodiscard]] const View* view_of(HwgId gid) const;
+  [[nodiscard]] GroupEndpoint* endpoint(HwgId gid);
+  [[nodiscard]] const GroupEndpoint* endpoint(HwgId gid) const;
+  [[nodiscard]] std::vector<HwgId> groups() const;
+  [[nodiscard]] ProcessId self() const { return node_.process_id(); }
+  [[nodiscard]] transport::NodeRuntime& node() { return node_; }
+  [[nodiscard]] const VsyncConfig& config() const { return config_; }
+
+  // --- used by GroupEndpoint ----------------------------------------------
+  void send_group_msg(HwgId gid, ProcessId to, MsgType type,
+                      const Encoder& body);
+  void multicast_group_msg(HwgId gid, const MemberSet& to, MsgType type,
+                           const Encoder& body);
+
+  // transport::PortHandler
+  void on_message(NodeId from, Decoder& dec) override;
+
+ private:
+  void tick();
+  void sweep_defunct();
+  [[nodiscard]] Encoder frame(HwgId gid, MsgType type,
+                              const Encoder& body) const;
+
+  transport::NodeRuntime& node_;
+  VsyncConfig config_;
+  std::unordered_map<HwgId, std::unique_ptr<GroupEndpoint>> endpoints_;
+  std::uint32_t next_group_counter_ = 1;
+  bool dispatching_ = false;
+};
+
+}  // namespace plwg::vsync

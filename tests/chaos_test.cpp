@@ -1,0 +1,85 @@
+// ChaosMonkey-driven soaks: after arbitrary injected partitions (and
+// crashes), quiescence must always restore one consistent view per group
+// among the surviving processes.
+#include <gtest/gtest.h>
+
+#include "harness/chaos.hpp"
+#include "lwg_fixture.hpp"
+
+namespace plwg::lwg::testing {
+namespace {
+
+class ChaosSoakTest : public LwgFixture,
+                      public ::testing::WithParamInterface<std::uint64_t> {};
+
+TEST_P(ChaosSoakTest, PartitionChaosConvergesAfterQuiesce) {
+  harness::WorldConfig cfg;
+  cfg.num_processes = 5;
+  cfg.num_name_servers = 2;
+  cfg.net.seed = GetParam();
+  build(cfg);
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2, 3, 4});
+
+  harness::ChaosConfig chaos_cfg;
+  chaos_cfg.seed = GetParam();
+  chaos_cfg.mean_interval_us = 4'000'000;
+  chaos_cfg.mean_partition_us = 3'000'000;
+  harness::ChaosMonkey chaos(world(), chaos_cfg);
+  chaos.run_for(60'000'000);
+  chaos.quiesce();
+  EXPECT_GT(chaos.partitions_injected(), 0u);
+
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1, 2, 3, 4},
+                             members_of({0, 1, 2, 3, 4}));
+      },
+      300'000'000))
+      << "seed " << GetParam();
+  // The reunited group carries traffic.
+  const auto before = user(4).total_delivered(id);
+  lwg(0).send(id, payload(1));
+  EXPECT_TRUE(run_until(
+      [&] { return user(4).total_delivered(id) > before; }, 30'000'000));
+}
+
+TEST_P(ChaosSoakTest, CrashAndPartitionChaosConvergesToSurvivors) {
+  harness::WorldConfig cfg;
+  cfg.num_processes = 5;
+  cfg.num_name_servers = 2;
+  cfg.net.seed = GetParam() ^ 0xdead;
+  build(cfg);
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2, 3, 4});
+
+  harness::ChaosConfig chaos_cfg;
+  chaos_cfg.seed = GetParam() ^ 0xbeef;
+  chaos_cfg.mean_interval_us = 5'000'000;
+  chaos_cfg.mean_partition_us = 3'000'000;
+  chaos_cfg.crash_probability = 0.4;
+  chaos_cfg.max_crashes = 2;
+  harness::ChaosMonkey chaos(world(), chaos_cfg);
+  chaos.run_for(60'000'000);
+  chaos.quiesce();
+
+  std::vector<std::size_t> alive;
+  MemberSet survivors;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto& crashed = chaos.crashed();
+    if (std::find(crashed.begin(), crashed.end(), i) == crashed.end()) {
+      alive.push_back(i);
+      survivors.insert(pid(i));
+    }
+  }
+  ASSERT_TRUE(
+      run_until([&] { return lwg_converged(id, alive, survivors); },
+                300'000'000))
+      << "seed " << GetParam() << " survivors " << survivors.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakTest,
+                         ::testing::Values(71, 72, 73, 74, 75, 76));
+
+}  // namespace
+}  // namespace plwg::lwg::testing

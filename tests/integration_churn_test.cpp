@@ -1,0 +1,105 @@
+// Randomized whole-system churn: partitions, heals, crashes, and traffic
+// against the full stack (lwg + names + vsync + sim), checked for the
+// paper's convergence property — after quiescence every LWG has a single
+// merged view mapped on a single HWG, and the naming service holds exactly
+// one mapping per LWG.
+#include <gtest/gtest.h>
+
+#include "lwg_fixture.hpp"
+#include "util/rng.hpp"
+
+namespace plwg::lwg::testing {
+namespace {
+
+class ChurnTest : public LwgFixture,
+                  public ::testing::WithParamInterface<std::uint64_t> {};
+
+TEST_P(ChurnTest, PartitionChurnConverges) {
+  Rng rng(GetParam());
+  harness::WorldConfig cfg;
+  cfg.num_processes = 6;
+  cfg.num_name_servers = 2;
+  cfg.net.seed = GetParam() ^ 0xc0ffee;
+  cfg.lwg.policy_period_us = 8'000'000;
+  cfg.lwg.shrink_delay_us = 6'000'000;
+  build(cfg);
+
+  const std::vector<LwgId> ids{LwgId{1}, LwgId{2}};
+  form_lwg(ids[0], {0, 1, 2, 3, 4, 5});
+  form_lwg(ids[1], {0, 1, 2, 3});
+
+  bool partitioned = false;
+  std::uint8_t tag = 0;
+  for (int step = 0; step < 12; ++step) {
+    const std::uint64_t action = rng.next_below(10);
+    if (action < 5) {
+      const int burst = static_cast<int>(rng.next_below(4)) + 1;
+      for (int m = 0; m < burst; ++m) {
+        const auto g = static_cast<std::size_t>(rng.next_below(ids.size()));
+        const auto* view = lwg(0).view_of(ids[g]);
+        const std::size_t sender =
+            g == 1 ? rng.next_below(4) : rng.next_below(6);
+        (void)view;
+        lwg(sender).send(ids[g], payload(tag++));
+      }
+    } else if (action < 8 && !partitioned) {
+      // Random two-way split; name server 0 goes left, server 1 right.
+      std::vector<std::size_t> left, right;
+      for (std::size_t i = 0; i < 6; ++i) {
+        (rng.next_bool(0.5) ? left : right).push_back(i);
+      }
+      if (!left.empty() && !right.empty()) {
+        world().partition({left, right}, {0, 1});
+        partitioned = true;
+      }
+    } else if (partitioned) {
+      world().heal();
+      partitioned = false;
+    }
+    run_for(rng.next_range(500'000, 4'000'000));
+  }
+  world().heal();
+
+  // Quiescence: every LWG reconverges to one view on one HWG.
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(ids[0], {0, 1, 2, 3, 4, 5},
+                             members_of({0, 1, 2, 3, 4, 5})) &&
+               lwg_converged(ids[1], {0, 1, 2, 3}, members_of({0, 1, 2, 3}));
+      },
+      300'000'000))
+      << "seed " << GetParam();
+
+  // The naming service converges to a single conflict-free mapping per LWG.
+  ASSERT_TRUE(run_until(
+      [&] {
+        for (std::size_t s = 0; s < 2; ++s) {
+          const auto& db = world().server(s).database();
+          for (LwgId id : ids) {
+            auto it = db.records.find(id);
+            if (it == db.records.end()) return false;
+            if (it->second.entries.size() != 1) return false;
+          }
+        }
+        return true;
+      },
+      60'000'000))
+      << "seed " << GetParam();
+
+  // Virtual synchrony held throughout the churn at the LWG level.
+  for (LwgId id : ids) check_lwg_virtual_synchrony(id, 6);
+
+  // End-to-end traffic works on both groups.
+  const auto before = user(5).total_delivered(ids[0]);
+  lwg(0).send(ids[0], payload(255));
+  EXPECT_TRUE(run_until(
+      [&] { return user(5).total_delivered(ids[0]) > before; }, 20'000'000))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnTest,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28, 29, 30,
+                                           31, 32));
+
+}  // namespace
+}  // namespace plwg::lwg::testing

@@ -1,0 +1,221 @@
+// Whole-system scenario tests, including the paper's running example:
+// Figures 3 and 4 / Tables 3 and 4 — two LWGs mapped opposite ways in two
+// partitions, then the four-stage evolution after healing, ending with a
+// garbage-collected naming service holding exactly one mapping per LWG.
+#include <gtest/gtest.h>
+
+#include "lwg_fixture.hpp"
+
+namespace plwg::lwg::testing {
+namespace {
+
+harness::WorldConfig scenario_config() {
+  harness::WorldConfig cfg;
+  cfg.num_processes = 4;
+  cfg.num_name_servers = 2;
+  cfg.lwg.mode = MappingMode::kDynamic;
+  cfg.lwg.policy_period_us = 10'000'000;
+  cfg.lwg.shrink_delay_us = 8'000'000;
+  return cfg;
+}
+
+class PaperScenarioTest : public LwgFixture {};
+
+// The Fig. 3 -> Fig. 4 lifecycle. Two LWGs created independently in two
+// partitions end up with inconsistent mappings (Table 3); after the heal,
+// the naming service detects the conflicts, the coordinators switch to the
+// highest HWG, concurrent views merge, and the database is GC'd to one row
+// per LWG (Table 4 stage 4).
+TEST_F(PaperScenarioTest, Figure3To4FullReconciliation) {
+  build(scenario_config());
+  // Partition p = {0,1} with server 0, partition p' = {2,3} with server 1.
+  world().partition({{0, 1}, {2, 3}}, {0, 1});
+  const LwgId lwg_a{0xA};
+  const LwgId lwg_b{0xB};
+  for (std::size_t i = 0; i < 4; ++i) {
+    lwg(i).join(lwg_a, user(i));
+    lwg(i).join(lwg_b, user(i));
+  }
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(lwg_a, {0, 1}, members_of({0, 1})) &&
+               lwg_converged(lwg_a, {2, 3}, members_of({2, 3})) &&
+               lwg_converged(lwg_b, {0, 1}, members_of({0, 1})) &&
+               lwg_converged(lwg_b, {2, 3}, members_of({2, 3}));
+      },
+      40'000'000));
+
+  // Table 3 precondition: the sides made independent mapping decisions.
+  const HwgId a_p = *lwg(0).hwg_of(lwg_a);
+  const HwgId a_pp = *lwg(2).hwg_of(lwg_a);
+  const HwgId b_p = *lwg(0).hwg_of(lwg_b);
+  const HwgId b_pp = *lwg(2).hwg_of(lwg_b);
+  EXPECT_NE(a_p, a_pp);
+  EXPECT_NE(b_p, b_pp);
+
+  world().heal();
+
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(lwg_a, {0, 1, 2, 3}, members_of({0, 1, 2, 3})) &&
+               lwg_converged(lwg_b, {0, 1, 2, 3}, members_of({0, 1, 2, 3}));
+      },
+      120'000'000));
+
+  // Reconciliation Step 2 used the deterministic highest-gid rule.
+  EXPECT_EQ(*lwg(0).hwg_of(lwg_a), std::max(a_p, a_pp));
+  EXPECT_EQ(*lwg(0).hwg_of(lwg_b), std::max(b_p, b_pp));
+
+  // Table 4 stage 4: every server converged to exactly one live mapping per
+  // LWG and the obsolete rows are garbage-collected via view genealogy.
+  ASSERT_TRUE(run_until(
+      [&] {
+        for (std::size_t s = 0; s < 2; ++s) {
+          const auto& db = world().server(s).database();
+          for (LwgId id : {lwg_a, lwg_b}) {
+            auto it = db.records.find(id);
+            if (it == db.records.end()) return false;
+            if (it->second.entries.size() != 1) return false;
+            if (it->second.has_conflict()) return false;
+          }
+        }
+        return true;
+      },
+      60'000'000));
+
+  // The conflict callbacks (MULTIPLE-MAPPINGS) actually fired.
+  std::uint64_t callbacks = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    callbacks += lwg(i).stats().conflict_callbacks;
+  }
+  EXPECT_GE(callbacks, 2u);
+
+  // Both groups carry end-to-end traffic after reconciliation.
+  lwg(0).send(lwg_a, payload(1));
+  lwg(3).send(lwg_b, payload(2));
+  ASSERT_TRUE(run_until(
+      [&] {
+        return user(2).total_delivered(lwg_a) >= 1 &&
+               user(1).total_delivered(lwg_b) >= 1;
+      },
+      20'000'000));
+}
+
+// Reconciliation disabled (ablation): the mappings stay split after heal —
+// demonstrating that Step 2 is what restores a common HWG.
+TEST_F(PaperScenarioTest, WithoutReconciliationMappingsStaySplit) {
+  harness::WorldConfig cfg = scenario_config();
+  cfg.lwg.reconcile_on_conflict = false;
+  build(cfg);
+  world().partition({{0, 1}, {2, 3}}, {0, 1});
+  const LwgId id{0xA};
+  for (std::size_t i = 0; i < 4; ++i) lwg(i).join(id, user(i));
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1}, members_of({0, 1})) &&
+               lwg_converged(id, {2, 3}, members_of({2, 3}));
+      },
+      40'000'000));
+  const HwgId h1 = *lwg(0).hwg_of(id);
+  const HwgId h2 = *lwg(2).hwg_of(id);
+  ASSERT_NE(h1, h2);
+  world().heal();
+  run_for(30'000'000);
+  EXPECT_EQ(*lwg(0).hwg_of(id), h1);
+  EXPECT_EQ(*lwg(2).hwg_of(id), h2);
+  EXPECT_FALSE(lwg_converged(id, {0, 1, 2, 3}, members_of({0, 1, 2, 3})));
+}
+
+// A heal with continuous traffic — the stressed interleaving of Step 2
+// switching and Step 4 merging.
+TEST_F(PaperScenarioTest, HealDuringOngoingTrafficReconciles) {
+  build(scenario_config());
+  world().partition({{0, 1}, {2, 3}}, {0, 1});
+  const LwgId id{0xA};
+  for (std::size_t i = 0; i < 4; ++i) lwg(i).join(id, user(i));
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1}, members_of({0, 1})) &&
+               lwg_converged(id, {2, 3}, members_of({2, 3}));
+      },
+      40'000'000));
+  world().heal();
+  for (int round = 0; round < 30; ++round) {
+    lwg(0).send(id, payload(static_cast<std::uint8_t>(round)));
+    lwg(2).send(id, payload(static_cast<std::uint8_t>(100 + round)));
+    run_for(1'000'000);
+  }
+  ASSERT_TRUE(run_until(
+      [&] { return lwg_converged(id, {0, 1, 2, 3}, members_of({0, 1, 2, 3})); },
+      120'000'000));
+  const auto base2 = user(2).total_delivered(id);
+  const auto base1 = user(1).total_delivered(id);
+  lwg(0).send(id, payload(200));
+  lwg(3).send(id, payload(201));
+  ASSERT_TRUE(run_until(
+      [&] {
+        return user(2).total_delivered(id) > base2 &&
+               user(1).total_delivered(id) > base1;
+      },
+      20'000'000));
+}
+
+// The crash of a whole partition side during reconciliation must not wedge
+// the surviving side.
+TEST_F(PaperScenarioTest, CrashOfOneSideDuringReconciliation) {
+  build(scenario_config());
+  world().partition({{0, 1}, {2, 3}}, {0, 1});
+  const LwgId id{0xA};
+  for (std::size_t i = 0; i < 4; ++i) lwg(i).join(id, user(i));
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1}, members_of({0, 1})) &&
+               lwg_converged(id, {2, 3}, members_of({2, 3}));
+      },
+      40'000'000));
+  world().heal();
+  run_for(1'500'000);  // reconciliation is under way
+  world().crash(2);
+  world().crash(3);
+  ASSERT_TRUE(run_until(
+      [&] { return lwg_converged(id, {0, 1}, members_of({0, 1})); },
+      120'000'000));
+  lwg(0).send(id, payload(3));
+  ASSERT_TRUE(
+      run_until([&] { return user(1).total_delivered(id) >= 1; }, 20'000'000));
+}
+
+// Overlapping LWGs in the style of the Swiss Exchange subjects: several
+// groups, partial overlap, survive a partition cycle.
+TEST_F(PaperScenarioTest, OverlappingSubjectsSurvivePartitionCycle) {
+  harness::WorldConfig cfg = scenario_config();
+  cfg.num_processes = 6;
+  build(cfg);
+  const LwgId s1{1}, s2{2}, s3{3};
+  form_lwg(s1, {0, 1, 2, 3});
+  form_lwg(s2, {2, 3, 4, 5});
+  form_lwg(s3, {0, 1, 2, 3, 4, 5});
+  world().partition({{0, 1, 2}, {3, 4, 5}}, {0, 1});
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(s1, {0, 1, 2}, members_of({0, 1, 2})) &&
+               lwg_converged(s1, {3}, members_of({3})) &&
+               lwg_converged(s2, {2}, members_of({2})) &&
+               lwg_converged(s2, {3, 4, 5}, members_of({3, 4, 5})) &&
+               lwg_converged(s3, {0, 1, 2}, members_of({0, 1, 2})) &&
+               lwg_converged(s3, {3, 4, 5}, members_of({3, 4, 5}));
+      },
+      60'000'000));
+  world().heal();
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(s1, {0, 1, 2, 3}, members_of({0, 1, 2, 3})) &&
+               lwg_converged(s2, {2, 3, 4, 5}, members_of({2, 3, 4, 5})) &&
+               lwg_converged(s3, {0, 1, 2, 3, 4, 5},
+                             members_of({0, 1, 2, 3, 4, 5}));
+      },
+      180'000'000));
+}
+
+}  // namespace
+}  // namespace plwg::lwg::testing

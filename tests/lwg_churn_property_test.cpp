@@ -1,0 +1,102 @@
+// Membership-churn property testing at the LWG level (no partitions):
+// random joins and leaves against several groups must always converge to
+// views that exactly match the intended membership, with the naming service
+// tracking one mapping per live group.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "lwg_fixture.hpp"
+#include "util/rng.hpp"
+
+namespace plwg::lwg::testing {
+namespace {
+
+class LwgChurnTest : public LwgFixture,
+                     public ::testing::WithParamInterface<std::uint64_t> {};
+
+TEST_P(LwgChurnTest, RandomJoinLeaveChurnConverges) {
+  Rng rng(GetParam());
+  constexpr std::size_t kProcs = 6;
+  harness::WorldConfig cfg;
+  cfg.num_processes = kProcs;
+  cfg.net.seed = GetParam() ^ 0xfeed;
+  cfg.lwg.policy_period_us = 6'000'000;
+  cfg.lwg.shrink_delay_us = 5'000'000;
+  build(cfg);
+
+  const std::vector<LwgId> ids{LwgId{1}, LwgId{2}, LwgId{3}};
+  // intended[g] = set of process indexes that should end up in group g.
+  std::map<LwgId, std::set<std::size_t>> intended;
+
+  // Seed every group with one deterministic member so it always exists.
+  for (std::size_t g = 0; g < ids.size(); ++g) {
+    lwg(g).join(ids[g], user(g));
+    intended[ids[g]].insert(g);
+  }
+  ASSERT_TRUE(run_until(
+      [&] {
+        for (std::size_t g = 0; g < ids.size(); ++g) {
+          if (lwg(g).view_of(ids[g]) == nullptr) return false;
+        }
+        return true;
+      },
+      30'000'000));
+
+  for (int step = 0; step < 30; ++step) {
+    const LwgId g = ids[rng.next_below(ids.size())];
+    const std::size_t p = rng.next_below(kProcs);
+    auto& members = intended[g];
+    if (members.contains(p)) {
+      if (members.size() > 1) {  // keep every group alive
+        lwg(p).leave(g);
+        members.erase(p);
+      }
+    } else {
+      lwg(p).join(g, user(p));
+      members.insert(p);
+    }
+    run_for(rng.next_range(100'000, 2'000'000));
+  }
+
+  // Quiescence: every group's view matches the intended membership exactly,
+  // at every intended member.
+  ASSERT_TRUE(run_until(
+      [&] {
+        for (const auto& [g, members] : intended) {
+          MemberSet expect;
+          for (std::size_t p : members) expect.insert(pid(p));
+          for (std::size_t p : members) {
+            const LwgView* v = lwg(p).view_of(g);
+            if (v == nullptr || !(v->members == expect)) return false;
+          }
+          // Processes outside the group hold no view of it.
+          for (std::size_t p = 0; p < kProcs; ++p) {
+            if (!members.contains(p) && lwg(p).view_of(g) != nullptr) {
+              return false;
+            }
+          }
+        }
+        return true;
+      },
+      120'000'000))
+      << "seed " << GetParam();
+
+  // Data still flows on every group.
+  for (const auto& [g, members] : intended) {
+    const std::size_t sender = *members.begin();
+    const auto before = user(sender).total_delivered(g);
+    lwg(sender).send(g, payload(0x77));
+    EXPECT_TRUE(run_until(
+        [&] { return user(sender).total_delivered(g) > before; }, 20'000'000))
+        << "group " << g.value() << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LwgChurnTest,
+                         ::testing::Values(301, 302, 303, 304, 305, 306, 307, 308,
+                                           309, 310));
+
+}  // namespace
+}  // namespace plwg::lwg::testing

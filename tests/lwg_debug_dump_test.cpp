@@ -1,0 +1,64 @@
+// The operational debug dump: it must reflect phases, views, switches and
+// forward pointers truthfully (and never crash, whatever the state).
+#include <gtest/gtest.h>
+
+#include "lwg_fixture.hpp"
+
+namespace plwg::lwg::testing {
+namespace {
+
+class LwgDebugDumpTest : public LwgFixture {};
+
+TEST_F(LwgDebugDumpTest, EmptyServiceDumps) {
+  harness::WorldConfig cfg;
+  cfg.num_processes = 1;
+  build(cfg);
+  const std::string dump = lwg(0).debug_dump();
+  EXPECT_NE(dump.find("LwgService p0"), std::string::npos);
+  EXPECT_NE(dump.find("mode=dynamic"), std::string::npos);
+  EXPECT_NE(dump.find("member of 0 hwg"), std::string::npos);
+}
+
+TEST_F(LwgDebugDumpTest, ActiveGroupAppearsWithViewAndPhase) {
+  harness::WorldConfig cfg;
+  cfg.num_processes = 2;
+  build(cfg);
+  form_lwg(LwgId{7}, {0, 1});
+  const std::string dump = lwg(0).debug_dump();
+  EXPECT_NE(dump.find("lwg 7"), std::string::npos);
+  EXPECT_NE(dump.find("phase=active"), std::string::npos);
+  EXPECT_NE(dump.find("view="), std::string::npos);
+  EXPECT_NE(dump.find("member of 1 hwg"), std::string::npos);
+}
+
+TEST_F(LwgDebugDumpTest, ResolvingPhaseVisibleDuringJoin) {
+  harness::WorldConfig cfg;
+  cfg.num_processes = 2;
+  build(cfg);
+  lwg(0).join(LwgId{7}, user(0));  // no sim time has passed: still resolving
+  const std::string dump = lwg(0).debug_dump();
+  EXPECT_NE(dump.find("phase=resolving"), std::string::npos);
+}
+
+TEST_F(LwgDebugDumpTest, ForwardPointerShowsUpAfterSwitch) {
+  harness::WorldConfig cfg;
+  cfg.num_processes = 8;
+  cfg.lwg.policy_period_us = 2'000'000;
+  cfg.lwg.shrink_delay_us = 60'000'000;  // keep the old HWG membership alive
+  build(cfg);
+  form_lwg(LwgId{1}, {0, 1, 2, 3, 4, 5, 6, 7});
+  form_lwg(LwgId{2}, {0, 1});
+  ASSERT_TRUE(run_until(
+      [&] {
+        const auto h1 = lwg(0).hwg_of(LwgId{1});
+        const auto h2 = lwg(0).hwg_of(LwgId{2});
+        return h1 && h2 && *h1 != *h2;
+      },
+      30'000'000));
+  // A member of the old HWG that is not in LWG 2 holds the forward pointer.
+  const std::string dump = lwg(5).debug_dump();
+  EXPECT_NE(dump.find("fwd(lwg2->"), std::string::npos) << dump;
+}
+
+}  // namespace
+}  // namespace plwg::lwg::testing

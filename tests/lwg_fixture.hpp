@@ -1,0 +1,147 @@
+// Shared fixture for light-weight group tests: a SimWorld plus a recording
+// LwgUser, with converge/partition helpers mirroring the vsync fixture one
+// layer up.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "harness/world.hpp"
+
+namespace plwg::lwg::testing {
+
+class RecordingLwgUser : public LwgUser {
+ public:
+  struct Epoch {
+    LwgView view;
+    std::vector<std::pair<ProcessId, std::vector<std::uint8_t>>> delivered;
+  };
+  struct GroupLog {
+    std::vector<Epoch> epochs;
+  };
+
+  void on_lwg_view(LwgId lwg, const LwgView& view) override {
+    logs_[lwg].epochs.push_back(Epoch{view, {}});
+  }
+  void on_lwg_data(LwgId lwg, ProcessId src,
+                   std::span<const std::uint8_t> data) override {
+    auto& log = logs_[lwg];
+    if (log.epochs.empty()) log.epochs.push_back(Epoch{});
+    log.epochs.back().delivered.emplace_back(
+        src, std::vector<std::uint8_t>(data.begin(), data.end()));
+  }
+
+  [[nodiscard]] const GroupLog& log(LwgId lwg) { return logs_[lwg]; }
+  [[nodiscard]] std::size_t total_delivered(LwgId lwg) {
+    std::size_t n = 0;
+    for (const auto& e : logs_[lwg].epochs) n += e.delivered.size();
+    return n;
+  }
+
+ private:
+  std::map<LwgId, GroupLog> logs_;
+};
+
+class LwgFixture : public ::testing::Test {
+ protected:
+  void build(harness::WorldConfig config) {
+    world_ = std::make_unique<harness::SimWorld>(std::move(config));
+    users_.resize(world_->num_processes());
+    for (auto& u : users_) u = std::make_unique<RecordingLwgUser>();
+  }
+
+  harness::SimWorld& world() { return *world_; }
+  lwg::LwgService& lwg(std::size_t i) { return world_->lwg(i); }
+  RecordingLwgUser& user(std::size_t i) { return *users_[i]; }
+  ProcessId pid(std::size_t i) { return world_->pid(i); }
+
+  void run_for(Duration us) { world_->run_for(us); }
+  bool run_until(const std::function<bool()>& pred, Duration timeout_us) {
+    return world_->run_until(pred, timeout_us);
+  }
+
+  MemberSet members_of(std::initializer_list<std::size_t> indexes) {
+    MemberSet set;
+    for (std::size_t i : indexes) set.insert(pid(i));
+    return set;
+  }
+
+  /// All listed processes installed the same LWG view with `members`, all
+  /// mapped on the same HWG.
+  bool lwg_converged(LwgId id, const std::vector<std::size_t>& indexes,
+                     const MemberSet& members) {
+    const LwgView* reference = nullptr;
+    for (std::size_t i : indexes) {
+      const LwgView* v = lwg(i).view_of(id);
+      if (v == nullptr || v->members != members) return false;
+      if (reference == nullptr) {
+        reference = v;
+      } else if (!(*v == *reference)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static std::vector<std::uint8_t> payload(std::uint8_t tag,
+                                           std::size_t size = 8) {
+    std::vector<std::uint8_t> data(size, 0);
+    data[0] = tag;
+    return data;
+  }
+
+  /// LWG-level virtual synchrony: any two processes that recorded the same
+  /// pair of consecutive LWG views delivered identical message sequences in
+  /// between, and per-sender FIFO holds at every observer.
+  void check_lwg_virtual_synchrony(LwgId id, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& ei = user(i).log(id).epochs;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const auto& ej = user(j).log(id).epochs;
+        for (std::size_t a = 0; a + 1 < ei.size(); ++a) {
+          for (std::size_t b = 0; b + 1 < ej.size(); ++b) {
+            if (!(ei[a].view.id == ej[b].view.id)) continue;
+            if (!(ei[a + 1].view.id == ej[b + 1].view.id)) continue;
+            EXPECT_EQ(ei[a].delivered, ej[b].delivered)
+                << "lwg " << id.value() << " procs " << i << "," << j
+                << " between " << ei[a].view.id.to_string() << " and "
+                << ei[a + 1].view.id.to_string();
+          }
+        }
+      }
+      // Per-sender FIFO across the whole history at observer i (payload
+      // tags are monotone per sender in these tests).
+      std::map<ProcessId, int> last;
+      for (const auto& epoch : ei) {
+        for (const auto& [src, data] : epoch.delivered) {
+          auto it = last.find(src);
+          if (it != last.end()) {
+            EXPECT_GT(static_cast<int>(data[0]), it->second)
+                << "per-sender FIFO violated at observer " << i;
+          }
+          last[src] = data[0];
+        }
+      }
+    }
+  }
+
+  /// Joins processes `indexes` to `id` and waits for convergence.
+  void form_lwg(LwgId id, const std::vector<std::size_t>& indexes) {
+    MemberSet members;
+    for (std::size_t i : indexes) {
+      lwg(i).join(id, user(i));
+      members.insert(pid(i));
+    }
+    ASSERT_TRUE(run_until(
+        [&] { return lwg_converged(id, indexes, members); }, 20'000'000))
+        << "lwg " << id.value() << " did not converge";
+  }
+
+  std::unique_ptr<harness::SimWorld> world_;
+  std::vector<std::unique_ptr<RecordingLwgUser>> users_;
+};
+
+}  // namespace plwg::lwg::testing

@@ -1,0 +1,144 @@
+// Service-contract conformance, parameterized over all three mapping modes
+// (dynamic LWG, static LWG, no-LWG): the user-visible guarantees of the
+// Table 1 interface must be identical regardless of how groups are mapped —
+// only performance may differ.
+#include <gtest/gtest.h>
+
+#include "lwg_fixture.hpp"
+
+namespace plwg::lwg::testing {
+namespace {
+
+class LwgModesTest : public LwgFixture,
+                     public ::testing::WithParamInterface<MappingMode> {
+ protected:
+  void build_mode(std::size_t processes) {
+    harness::WorldConfig cfg;
+    cfg.num_processes = processes;
+    cfg.lwg.mode = GetParam();
+    if (GetParam() == MappingMode::kStaticSingle) {
+      cfg.lwg.static_hwg = HwgId{0xFFFF'0001};
+      MemberSet contacts;
+      for (std::size_t i = 0; i < processes; ++i) {
+        contacts.insert(ProcessId{static_cast<std::uint32_t>(i)});
+      }
+      cfg.lwg.static_contacts = contacts;
+    }
+    build(cfg);
+  }
+};
+
+TEST_P(LwgModesTest, JoinDeliversViewWithAllMembers) {
+  build_mode(4);
+  form_lwg(LwgId{1}, {0, 1, 2, 3});
+  for (std::size_t i = 0; i < 4; ++i) {
+    const LwgView* v = lwg(i).view_of(LwgId{1});
+    ASSERT_NE(v, nullptr) << "process " << i;
+    EXPECT_EQ(v->members, members_of({0, 1, 2, 3}));
+  }
+}
+
+TEST_P(LwgModesTest, TotalOrderAcrossSenders) {
+  build_mode(3);
+  form_lwg(LwgId{1}, {0, 1, 2});
+  for (int m = 0; m < 6; ++m) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      lwg(i).send(LwgId{1}, payload(static_cast<std::uint8_t>(i * 10 + m)));
+    }
+  }
+  ASSERT_TRUE(run_until(
+      [&] {
+        for (std::size_t i = 0; i < 3; ++i) {
+          if (user(i).total_delivered(LwgId{1}) != 18) return false;
+        }
+        return true;
+      },
+      20'000'000));
+  EXPECT_EQ(user(0).log(LwgId{1}).epochs.back().delivered,
+            user(1).log(LwgId{1}).epochs.back().delivered);
+  EXPECT_EQ(user(1).log(LwgId{1}).epochs.back().delivered,
+            user(2).log(LwgId{1}).epochs.back().delivered);
+}
+
+TEST_P(LwgModesTest, SenderReceivesOwnMessages) {
+  build_mode(2);
+  form_lwg(LwgId{1}, {0, 1});
+  lwg(0).send(LwgId{1}, payload(9));
+  ASSERT_TRUE(run_until(
+      [&] { return user(0).total_delivered(LwgId{1}) == 1; }, 10'000'000));
+  EXPECT_EQ(user(0).log(LwgId{1}).epochs.back().delivered[0].first, pid(0));
+}
+
+TEST_P(LwgModesTest, LeaveProducesShrunkenViewAtSurvivors) {
+  build_mode(3);
+  form_lwg(LwgId{1}, {0, 1, 2});
+  lwg(1).leave(LwgId{1});
+  ASSERT_TRUE(run_until(
+      [&] { return lwg_converged(LwgId{1}, {0, 2}, members_of({0, 2})); },
+      20'000'000));
+  EXPECT_EQ(lwg(1).view_of(LwgId{1}), nullptr);
+}
+
+TEST_P(LwgModesTest, CrashProducesShrunkenViewAtSurvivors) {
+  build_mode(3);
+  form_lwg(LwgId{1}, {0, 1, 2});
+  world().crash(2);
+  ASSERT_TRUE(run_until(
+      [&] { return lwg_converged(LwgId{1}, {0, 1}, members_of({0, 1})); },
+      30'000'000));
+}
+
+TEST_P(LwgModesTest, TwoIndependentGroupsDoNotLeakData) {
+  build_mode(4);
+  form_lwg(LwgId{1}, {0, 1});
+  form_lwg(LwgId{2}, {2, 3});
+  lwg(0).send(LwgId{1}, payload(1));
+  lwg(2).send(LwgId{2}, payload(2));
+  ASSERT_TRUE(run_until(
+      [&] {
+        return user(1).total_delivered(LwgId{1}) == 1 &&
+               user(3).total_delivered(LwgId{2}) == 1;
+      },
+      20'000'000));
+  run_for(1'000'000);
+  EXPECT_EQ(user(0).total_delivered(LwgId{2}), 0u);
+  EXPECT_EQ(user(2).total_delivered(LwgId{1}), 0u);
+}
+
+TEST_P(LwgModesTest, ViewChangeSeparatesMessageEpochs) {
+  build_mode(3);
+  form_lwg(LwgId{1}, {0, 1});
+  lwg(0).send(LwgId{1}, payload(1));
+  ASSERT_TRUE(run_until(
+      [&] { return user(1).total_delivered(LwgId{1}) == 1; }, 10'000'000));
+  lwg(2).join(LwgId{1}, user(2));
+  ASSERT_TRUE(run_until(
+      [&] { return lwg_converged(LwgId{1}, {0, 1, 2}, members_of({0, 1, 2})); },
+      20'000'000));
+  lwg(0).send(LwgId{1}, payload(2));
+  ASSERT_TRUE(run_until(
+      [&] { return user(1).total_delivered(LwgId{1}) == 2; }, 10'000'000));
+  // Message 1 was delivered in the old view's epoch, message 2 in the new.
+  const auto& epochs = user(1).log(LwgId{1}).epochs;
+  ASSERT_GE(epochs.size(), 2u);
+  EXPECT_EQ(epochs.back().delivered.size(), 1u);
+  EXPECT_EQ(epochs.back().delivered[0].second[0], 2);
+  // The joiner saw only the second message (sent in its first view).
+  ASSERT_EQ(user(2).total_delivered(LwgId{1}), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, LwgModesTest,
+                         ::testing::Values(MappingMode::kDynamic,
+                                           MappingMode::kStaticSingle,
+                                           MappingMode::kPerGroup),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case MappingMode::kDynamic: return "Dynamic";
+                             case MappingMode::kStaticSingle: return "Static";
+                             case MappingMode::kPerGroup: return "PerGroup";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace plwg::lwg::testing

@@ -1,0 +1,290 @@
+// Partitionable light-weight groups — the paper's core contribution. These
+// tests drive the full four-step reconciliation (Sect. 6): global peer
+// discovery via naming-service callbacks, deterministic mapping
+// reconciliation (highest HWG gid wins), local peer discovery, and the
+// merge-views protocol (Fig. 5).
+#include <gtest/gtest.h>
+
+#include "lwg_fixture.hpp"
+
+namespace plwg::lwg::testing {
+namespace {
+
+harness::WorldConfig config(std::size_t processes,
+                            std::size_t name_servers = 2) {
+  harness::WorldConfig cfg;
+  cfg.num_processes = processes;
+  cfg.num_name_servers = name_servers;
+  cfg.lwg.mode = MappingMode::kDynamic;
+  cfg.lwg.policy_period_us = 5'000'000;
+  cfg.lwg.shrink_delay_us = 5'000'000;
+  return cfg;
+}
+
+class LwgPartitionTest : public LwgFixture {};
+
+TEST_F(LwgPartitionTest, PartitionSplitsLwgIntoConcurrentViews) {
+  build(config(4));
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2, 3});
+  world().partition({{0, 1}, {2, 3}}, {0, 1});
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1}, members_of({0, 1})) &&
+               lwg_converged(id, {2, 3}, members_of({2, 3}));
+      },
+      30'000'000));
+  const LwgView* a = lwg(0).view_of(id);
+  const LwgView* b = lwg(2).view_of(id);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_FALSE(a->id == b->id);
+  // Both halves stay operational.
+  lwg(0).send(id, payload(1));
+  lwg(2).send(id, payload(2));
+  ASSERT_TRUE(run_until(
+      [&] {
+        return user(1).total_delivered(id) >= 1 &&
+               user(3).total_delivered(id) >= 1;
+      },
+      10'000'000));
+}
+
+TEST_F(LwgPartitionTest, HealMergesLwgViewsViaSingleHwg) {
+  build(config(4));
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2, 3});
+  world().partition({{0, 1}, {2, 3}}, {0, 1});
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1}, members_of({0, 1})) &&
+               lwg_converged(id, {2, 3}, members_of({2, 3}));
+      },
+      30'000'000));
+  world().heal();
+  // Step 3 + 4: the HWG merges, concurrent LWG views discover each other
+  // locally and fold into one.
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1, 2, 3}, members_of({0, 1, 2, 3}));
+      },
+      60'000'000));
+  // The merged group carries traffic end to end.
+  const auto before = user(3).total_delivered(id);
+  lwg(0).send(id, payload(9));
+  ASSERT_TRUE(run_until(
+      [&] { return user(3).total_delivered(id) > before; }, 10'000'000));
+}
+
+TEST_F(LwgPartitionTest, MergedLwgViewIdenticalEverywhere) {
+  build(config(4));
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2, 3});
+  world().partition({{0, 1}, {2, 3}}, {0, 1});
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1}, members_of({0, 1})) &&
+               lwg_converged(id, {2, 3}, members_of({2, 3}));
+      },
+      30'000'000));
+  world().heal();
+  ASSERT_TRUE(run_until(
+      [&] { return lwg_converged(id, {0, 1, 2, 3}, members_of({0, 1, 2, 3})); },
+      60'000'000));
+  // Decentralized determinism (Fig. 5): every member computed the same view.
+  const LwgView* ref = lwg(0).view_of(id);
+  for (std::size_t i = 1; i < 4; ++i) {
+    const LwgView* v = lwg(i).view_of(id);
+    ASSERT_NE(v, nullptr);
+    EXPECT_TRUE(*v == *ref) << "process " << i;
+  }
+}
+
+TEST_F(LwgPartitionTest, ConflictingMappingsReconcileToHighestHwg) {
+  build(config(4));
+  // The LWG is *created independently* in two partitions — the scenario
+  // where concurrent partitions make inconsistent mapping decisions.
+  world().partition({{0, 1}, {2, 3}}, {0, 1});
+  const LwgId id{1};
+  lwg(0).join(id, user(0));
+  lwg(1).join(id, user(1));
+  lwg(2).join(id, user(2));
+  lwg(3).join(id, user(3));
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1}, members_of({0, 1})) &&
+               lwg_converged(id, {2, 3}, members_of({2, 3}));
+      },
+      30'000'000));
+  const auto hwg_a = lwg(0).hwg_of(id);
+  const auto hwg_b = lwg(2).hwg_of(id);
+  ASSERT_TRUE(hwg_a && hwg_b);
+  ASSERT_NE(*hwg_a, *hwg_b);  // inconsistent mappings, as the paper predicts
+  const HwgId expected = std::max(*hwg_a, *hwg_b);
+
+  world().heal();
+  // Steps 1-4: NS reconciliation → MULTIPLE-MAPPINGS → switch to highest
+  // gid → local discovery → merge views.
+  ASSERT_TRUE(run_until(
+      [&] { return lwg_converged(id, {0, 1, 2, 3}, members_of({0, 1, 2, 3})); },
+      90'000'000));
+  // Everyone ended on the deterministically chosen HWG.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(lwg(i).hwg_of(id), expected) << "process " << i;
+  }
+  // At least one side performed the Step 2 switch.
+  const auto switches = lwg(0).stats().switches_started +
+                        lwg(1).stats().switches_started +
+                        lwg(2).stats().switches_started +
+                        lwg(3).stats().switches_started;
+  EXPECT_GE(switches, 1u);
+}
+
+TEST_F(LwgPartitionTest, NamingServiceConvergesToSingleMappingAfterHeal) {
+  build(config(4));
+  world().partition({{0, 1}, {2, 3}}, {0, 1});
+  const LwgId id{1};
+  for (std::size_t i = 0; i < 4; ++i) lwg(i).join(id, user(i));
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1}, members_of({0, 1})) &&
+               lwg_converged(id, {2, 3}, members_of({2, 3}));
+      },
+      30'000'000));
+  world().heal();
+  ASSERT_TRUE(run_until(
+      [&] { return lwg_converged(id, {0, 1, 2, 3}, members_of({0, 1, 2, 3})); },
+      90'000'000));
+  // Table 4 stage 4: obsolete rows GC'd, exactly one mapping per LWG, on
+  // both name servers.
+  ASSERT_TRUE(run_until(
+      [&] {
+        for (std::size_t s = 0; s < 2; ++s) {
+          const auto& db = world().server(s).database();
+          auto it = db.records.find(id);
+          if (it == db.records.end()) return false;
+          if (it->second.entries.size() != 1) return false;
+          if (it->second.has_conflict()) return false;
+        }
+        return true;
+      },
+      30'000'000));
+}
+
+TEST_F(LwgPartitionTest, MultipleLwgsMergeInOneFlush) {
+  build(config(4));
+  // Several LWGs, all mapped on one HWG (identical membership).
+  const std::vector<LwgId> ids{LwgId{1}, LwgId{2}, LwgId{3}};
+  for (LwgId id : ids) form_lwg(id, {0, 1, 2, 3});
+  // Reconciliation of racing founders may leave a stale HWG around until
+  // the shrink rule retires it.
+  ASSERT_TRUE(run_until(
+      [&] {
+        for (std::size_t i = 0; i < 4; ++i) {
+          if (lwg(i).member_hwgs().size() != 1) return false;
+        }
+        return true;
+      },
+      30'000'000));
+  world().partition({{0, 1}, {2, 3}}, {0, 1});
+  ASSERT_TRUE(run_until(
+      [&] {
+        for (LwgId id : ids) {
+          if (!lwg_converged(id, {0, 1}, members_of({0, 1}))) return false;
+          if (!lwg_converged(id, {2, 3}, members_of({2, 3}))) return false;
+        }
+        return true;
+      },
+      40'000'000));
+  const HwgId shared_hwg = *lwg(0).hwg_of(ids[0]);
+  const auto views_before =
+      world().vsync(0).endpoint(shared_hwg)->stats().views_installed;
+  std::vector<std::uint64_t> merges_before(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    merges_before[i] = lwg(i).stats().lwg_merges;
+  }
+  world().heal();
+  ASSERT_TRUE(run_until(
+      [&] {
+        for (LwgId id : ids) {
+          if (!lwg_converged(id, {0, 1, 2, 3}, members_of({0, 1, 2, 3}))) {
+            return false;
+          }
+        }
+        return true;
+      },
+      90'000'000));
+  // Resource sharing in the merge itself (paper Sect. 6.4): one HWG merge
+  // plus a couple of merge-views flushes folds *all* LWGs — the HWG view
+  // count does not scale with the number of LWGs mapped on it.
+  const auto views_after =
+      world().vsync(0).endpoint(shared_hwg)->stats().views_installed;
+  EXPECT_LE(views_after - views_before, 5u);
+  // And every process folded concurrent views for each LWG exactly once
+  // during the heal.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(lwg(i).stats().lwg_merges - merges_before[i], ids.size())
+        << "process " << i;
+  }
+}
+
+TEST_F(LwgPartitionTest, RepeatedPartitionHealCyclesConverge) {
+  build(config(4));
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2, 3});
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    world().partition({{0, 1}, {2, 3}}, {0, 1});
+    ASSERT_TRUE(run_until(
+        [&] {
+          return lwg_converged(id, {0, 1}, members_of({0, 1})) &&
+                 lwg_converged(id, {2, 3}, members_of({2, 3}));
+        },
+        40'000'000))
+        << "cycle " << cycle;
+    world().heal();
+    ASSERT_TRUE(run_until(
+        [&] {
+          return lwg_converged(id, {0, 1, 2, 3}, members_of({0, 1, 2, 3}));
+        },
+        90'000'000))
+        << "cycle " << cycle;
+  }
+}
+
+TEST_F(LwgPartitionTest, AsymmetricPartitionMinoritySideRejoins) {
+  build(config(5));
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2, 3, 4});
+  world().partition({{0, 1, 2, 3}, {4}}, {0, 1});
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1, 2, 3}, members_of({0, 1, 2, 3})) &&
+               lwg_converged(id, {4}, members_of({4}));
+      },
+      40'000'000));
+  world().heal();
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1, 2, 3, 4},
+                             members_of({0, 1, 2, 3, 4}));
+      },
+      90'000'000));
+}
+
+TEST_F(LwgPartitionTest, DataTaggedWithOldViewIsNotDeliveredAcross) {
+  build(config(4));
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2, 3});
+  const auto delivered_before = user(3).total_delivered(id);
+  world().partition({{0, 1}, {2, 3}}, {0, 1});
+  ASSERT_TRUE(run_until(
+      [&] { return lwg_converged(id, {0, 1}, members_of({0, 1})); },
+      30'000'000));
+  // Data sent in partition A's view never reaches partition B.
+  lwg(0).send(id, payload(77));
+  run_for(3'000'000);
+  EXPECT_EQ(user(3).total_delivered(id), delivered_before);
+}
+
+}  // namespace
+}  // namespace plwg::lwg::testing

@@ -1,0 +1,177 @@
+// Stress interactions between the reconfiguration machinery and faults:
+// partitions landing mid-switch, graceful shutdown, naming-service refresh
+// after HWG view changes (Table 4 stage 2 as a checkable state), and a
+// long mixed soak.
+#include <gtest/gtest.h>
+
+#include "lwg_fixture.hpp"
+#include "util/rng.hpp"
+
+namespace plwg::lwg::testing {
+namespace {
+
+harness::WorldConfig stress_config(std::size_t processes) {
+  harness::WorldConfig cfg;
+  cfg.num_processes = processes;
+  cfg.num_name_servers = 2;
+  cfg.lwg.policy_period_us = 2'000'000;
+  cfg.lwg.shrink_delay_us = 4'000'000;
+  return cfg;
+}
+
+class LwgStressTest : public LwgFixture {};
+
+TEST_F(LwgStressTest, PartitionDuringSwitchRecovers) {
+  build(stress_config(8));
+  form_lwg(LwgId{1}, {0, 1, 2, 3, 4, 5, 6, 7});
+  form_lwg(LwgId{2}, {0, 1});
+  // The interference rule will switch LWG 2 at the next policy period
+  // (2s boundary). Partition right around that moment.
+  run_for(1'950'000);
+  world().partition({{0, 1, 2, 3}, {4, 5, 6, 7}}, {0, 1});
+  run_for(8'000'000);  // switch machinery + partition chaos interleave
+  world().heal();
+  // Whatever interleaving happened, LWG 2 must converge to {0,1} with both
+  // members on one HWG and working delivery.
+  ASSERT_TRUE(run_until(
+      [&] { return lwg_converged(LwgId{2}, {0, 1}, members_of({0, 1})); },
+      120'000'000));
+  const auto before = user(1).total_delivered(LwgId{2});
+  lwg(0).send(LwgId{2}, payload(5));
+  ASSERT_TRUE(run_until(
+      [&] { return user(1).total_delivered(LwgId{2}) > before; },
+      20'000'000));
+  // And the big group survived too.
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(LwgId{1}, {0, 1, 2, 3, 4, 5, 6, 7},
+                             members_of({0, 1, 2, 3, 4, 5, 6, 7}));
+      },
+      120'000'000));
+}
+
+TEST_F(LwgStressTest, ShutdownLeavesAllGroupsCleanly) {
+  build(stress_config(4));
+  form_lwg(LwgId{1}, {0, 1, 2, 3});
+  form_lwg(LwgId{2}, {0, 1, 2});
+  form_lwg(LwgId{3}, {0, 3});
+  lwg(0).shutdown();
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(LwgId{1}, {1, 2, 3}, members_of({1, 2, 3})) &&
+               lwg_converged(LwgId{2}, {1, 2}, members_of({1, 2})) &&
+               lwg_converged(LwgId{3}, {3}, members_of({3}));
+      },
+      60'000'000));
+  EXPECT_TRUE(lwg(0).local_groups().empty());
+  // The shrink rule eventually clears p0's HWG memberships too.
+  ASSERT_TRUE(run_until(
+      [&] { return world().vsync(0).groups().empty(); }, 30'000'000));
+}
+
+TEST_F(LwgStressTest, NsTracksHwgViewAfterMembershipChange) {
+  // Table 4 stage 2 as a test: when the underlying HWG view changes, the
+  // LWG coordinator re-registers the mapping against the new HWG view.
+  build(stress_config(4));
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2});
+  run_for(2'000'000);
+  const auto& db0 = world().server(0).database();
+  ASSERT_TRUE(db0.records.contains(id));
+  const names::MappingEntry before = db0.records.at(id).alive_entries()[0];
+
+  // A fourth process joins the LWG (and hence the HWG): new HWG view.
+  lwg(3).join(id, user(3));
+  ASSERT_TRUE(run_until(
+      [&] { return lwg_converged(id, {0, 1, 2, 3}, members_of({0, 1, 2, 3})); },
+      30'000'000));
+  ASSERT_TRUE(run_until(
+      [&] {
+        const auto& rec = world().server(0).database().records.at(id);
+        if (rec.entries.size() != 1) return false;
+        const names::MappingEntry& e = rec.alive_entries()[0];
+        return e.hwg_members.size() == 4 && e.stamp > before.stamp &&
+               !(e.hwg_view == before.hwg_view);
+      },
+      30'000'000));
+}
+
+TEST_F(LwgStressTest, MixedSoakConvergesAndStaysConsistent) {
+  Rng rng(4242);
+  build(stress_config(6));
+  const std::vector<LwgId> ids{LwgId{1}, LwgId{2}};
+  form_lwg(ids[0], {0, 1, 2, 3, 4, 5});
+  form_lwg(ids[1], {0, 1, 2});
+
+  bool partitioned = false;
+  std::uint8_t tag = 0;
+  for (int step = 0; step < 25; ++step) {
+    switch (rng.next_below(6)) {
+      case 0:
+      case 1: {  // traffic burst (only from current members)
+        for (int m = 0; m < 4; ++m) {
+          const std::size_t sender = rng.next_below(3);
+          const LwgId g = ids[rng.next_below(2)];
+          if (lwg(sender).view_of(g) != nullptr) {
+            lwg(sender).send(g, payload(tag++));
+          }
+        }
+        break;
+      }
+      case 2: {  // partition or heal
+        if (partitioned) {
+          world().heal();
+          partitioned = false;
+        } else {
+          world().partition({{0, 1, 2}, {3, 4, 5}}, {0, 1});
+          partitioned = true;
+        }
+        break;
+      }
+      case 3: {  // leave + rejoin a member of group 2
+        // Keep it simple: process 2 churns in group 2.
+        if (lwg(2).view_of(ids[1]) != nullptr) {
+          lwg(2).leave(ids[1]);
+        } else if (lwg(2).local_groups().empty() ||
+                   lwg(2).view_of(ids[1]) == nullptr) {
+          bool joined = false;
+          for (LwgId g : lwg(2).local_groups()) joined |= g == ids[1];
+          if (!joined) lwg(2).join(ids[1], user(2));
+        }
+        break;
+      }
+      default:
+        break;  // idle step
+    }
+    run_for(rng.next_range(500'000, 3'000'000));
+  }
+  world().heal();
+  // Group 1 must converge to everyone; group 2 to {0,1} plus 2 iff joined.
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(ids[0], {0, 1, 2, 3, 4, 5},
+                             members_of({0, 1, 2, 3, 4, 5}));
+      },
+      300'000'000));
+  const bool two_in = lwg(2).view_of(ids[1]) != nullptr;
+  const MemberSet expect2 =
+      two_in ? members_of({0, 1, 2}) : members_of({0, 1});
+  std::vector<std::size_t> who2 = two_in ? std::vector<std::size_t>{0, 1, 2}
+                                         : std::vector<std::size_t>{0, 1};
+  ASSERT_TRUE(run_until([&] { return lwg_converged(ids[1], who2, expect2); },
+                        120'000'000));
+  // End-to-end traffic on both groups.
+  const auto b0 = user(5).total_delivered(ids[0]);
+  const auto b1 = user(1).total_delivered(ids[1]);
+  lwg(0).send(ids[0], payload(200));
+  lwg(0).send(ids[1], payload(201));
+  ASSERT_TRUE(run_until(
+      [&] {
+        return user(5).total_delivered(ids[0]) > b0 &&
+               user(1).total_delivered(ids[1]) > b1;
+      },
+      30'000'000));
+}
+
+}  // namespace
+}  // namespace plwg::lwg::testing

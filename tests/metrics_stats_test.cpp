@@ -1,0 +1,69 @@
+#include "metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace plwg::metrics {
+namespace {
+
+TEST(LatencyRecorder, BasicStatistics) {
+  LatencyRecorder rec;
+  for (Duration v : {10, 20, 30, 40, 50}) rec.record(v);
+  EXPECT_EQ(rec.count(), 5u);
+  EXPECT_DOUBLE_EQ(rec.mean_us(), 30.0);
+  EXPECT_EQ(rec.min_us(), 10);
+  EXPECT_EQ(rec.max_us(), 50);
+  EXPECT_EQ(rec.p50_us(), 30);
+}
+
+TEST(LatencyRecorder, PercentileNearestRank) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.record(i);
+  EXPECT_EQ(rec.percentile_us(0.95), 95);
+  EXPECT_EQ(rec.percentile_us(0.99), 99);
+  EXPECT_EQ(rec.percentile_us(1.0), 100);
+  EXPECT_EQ(rec.percentile_us(0.0), 1);
+}
+
+TEST(LatencyRecorder, SingleSample) {
+  LatencyRecorder rec;
+  rec.record(42);
+  EXPECT_EQ(rec.p50_us(), 42);
+  EXPECT_EQ(rec.p99_us(), 42);
+  EXPECT_DOUBLE_EQ(rec.mean_us(), 42.0);
+}
+
+TEST(LatencyRecorder, ClearResets) {
+  LatencyRecorder rec;
+  rec.record(1);
+  rec.clear();
+  EXPECT_TRUE(rec.empty());
+  EXPECT_DOUBLE_EQ(rec.mean_us(), 0.0);
+}
+
+TEST(RatePerSec, ConvertsFromMicroseconds) {
+  EXPECT_DOUBLE_EQ(rate_per_sec(1000, 1'000'000), 1000.0);
+  EXPECT_DOUBLE_EQ(rate_per_sec(500, 2'000'000), 250.0);
+  EXPECT_DOUBLE_EQ(rate_per_sec(5, 0), 0.0);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"latency", "12.50"});
+  t.add_row({"throughput-long-name", "3"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("throughput-long-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, FmtFormatsDecimals) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace plwg::metrics

@@ -1,0 +1,80 @@
+// The replicated-everywhere naming deployment (paper Sect. 3.1): reads are
+// answered by the local replica, updates propagate by anti-entropy, and the
+// full partition-reconciliation machinery still works on top of it.
+#include <gtest/gtest.h>
+
+#include "lwg_fixture.hpp"
+
+namespace plwg::lwg::testing {
+namespace {
+
+harness::WorldConfig replicated_config(std::size_t processes) {
+  harness::WorldConfig cfg;
+  cfg.num_processes = processes;
+  cfg.naming_mode = harness::NamingMode::kReplicatedEverywhere;
+  return cfg;
+}
+
+class NamingModeTest : public LwgFixture {};
+
+TEST_F(NamingModeTest, EveryProcessHostsAReplica) {
+  build(replicated_config(3));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(world().naming(i).is_server()) << "process " << i;
+    EXPECT_EQ(world().server_node(i), world().node(i));
+  }
+}
+
+TEST_F(NamingModeTest, GroupsFormThroughLocalReplicas) {
+  build(replicated_config(4));
+  form_lwg(LwgId{1}, {0, 1, 2, 3});
+  lwg(0).send(LwgId{1}, payload(1));
+  ASSERT_TRUE(run_until(
+      [&] { return user(3).total_delivered(LwgId{1}) == 1; }, 10'000'000));
+}
+
+TEST_F(NamingModeTest, MappingsPropagateToAllReplicas) {
+  build(replicated_config(4));
+  form_lwg(LwgId{1}, {0, 1});
+  run_for(3'000'000);  // anti-entropy round
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(
+        world().server(i).database().records.contains(LwgId{1}))
+        << "replica " << i;
+  }
+}
+
+TEST_F(NamingModeTest, PartitionReconciliationWorksWithoutDedicatedServers) {
+  build(replicated_config(4));
+  // Create the group independently in two partitions; every side has local
+  // replicas by construction, so no server placement is needed.
+  world().partition({{0, 1}, {2, 3}});
+  const LwgId id{1};
+  for (std::size_t i = 0; i < 4; ++i) lwg(i).join(id, user(i));
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1}, members_of({0, 1})) &&
+               lwg_converged(id, {2, 3}, members_of({2, 3}));
+      },
+      40'000'000));
+  world().heal();
+  ASSERT_TRUE(run_until(
+      [&] { return lwg_converged(id, {0, 1, 2, 3}, members_of({0, 1, 2, 3})); },
+      120'000'000));
+  // All four replicas converge to one GC'd mapping.
+  ASSERT_TRUE(run_until(
+      [&] {
+        for (std::size_t i = 0; i < 4; ++i) {
+          const auto& db = world().server(i).database();
+          auto it = db.records.find(id);
+          if (it == db.records.end() || it->second.entries.size() != 1) {
+            return false;
+          }
+        }
+        return true;
+      },
+      60'000'000));
+}
+
+}  // namespace
+}  // namespace plwg::lwg::testing

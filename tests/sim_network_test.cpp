@@ -1,0 +1,178 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace plwg::sim {
+namespace {
+
+struct Recorder : NetHandler {
+  struct Packet {
+    NodeId from;
+    std::vector<std::uint8_t> data;
+    Time at;
+  };
+  explicit Recorder(Simulator& sim) : sim_(sim) {}
+  void on_packet(NodeId from, std::span<const std::uint8_t> data) override {
+    packets.push_back(Packet{from, {data.begin(), data.end()}, sim_.now()});
+  }
+  Simulator& sim_;
+  std::vector<Packet> packets;
+};
+
+struct NetFixture : ::testing::Test {
+  NetFixture() {
+    NetworkConfig cfg;
+    cfg.propagation_delay_us = 50;
+    cfg.node_process_cost_us = 100;
+    cfg.bandwidth_bps = 10e6;
+    cfg.header_bytes = 46;
+    config = cfg;
+  }
+  void build(std::size_t n) {
+    net = std::make_unique<Network>(sim, config);
+    for (std::size_t i = 0; i < n; ++i) {
+      handlers.push_back(std::make_unique<Recorder>(sim));
+      nodes.push_back(net->add_node(*handlers.back()));
+    }
+  }
+  Simulator sim;
+  NetworkConfig config;
+  std::unique_ptr<Network> net;
+  std::vector<std::unique_ptr<Recorder>> handlers;
+  std::vector<NodeId> nodes;
+};
+
+TEST_F(NetFixture, UnicastDelivers) {
+  build(2);
+  net->unicast(nodes[0], nodes[1], {1, 2, 3});
+  sim.run();
+  ASSERT_EQ(handlers[1]->packets.size(), 1u);
+  EXPECT_EQ(handlers[1]->packets[0].from, nodes[0]);
+  EXPECT_EQ(handlers[1]->packets[0].data, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(handlers[0]->packets.size(), 0u);
+}
+
+TEST_F(NetFixture, MulticastReachesAllListedDestinations) {
+  build(4);
+  const std::vector<NodeId> dests{nodes[1], nodes[2], nodes[3]};
+  net->multicast(nodes[0], dests, {9});
+  sim.run();
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_EQ(handlers[i]->packets.size(), 1u) << "node " << i;
+  }
+}
+
+TEST_F(NetFixture, LoopbackDeliveryWorks) {
+  build(1);
+  net->unicast(nodes[0], nodes[0], {7});
+  sim.run();
+  ASSERT_EQ(handlers[0]->packets.size(), 1u);
+}
+
+TEST_F(NetFixture, DeliveryLatencyIncludesBusAndProcessing) {
+  build(2);
+  net->unicast(nodes[0], nodes[1], std::vector<std::uint8_t>(54, 0));
+  sim.run();
+  // tx time for (54 + 46) bytes at 10 Mbps = 80 us (+1 rounding),
+  // + 50 us propagation + 100 us processing.
+  ASSERT_EQ(handlers[1]->packets.size(), 1u);
+  EXPECT_EQ(handlers[1]->packets[0].at, 81 + 50 + 100);
+}
+
+TEST_F(NetFixture, SharedBusSerializesTransmissions) {
+  build(3);
+  // Two senders transmit simultaneously: the second waits for the bus.
+  net->unicast(nodes[0], nodes[2], std::vector<std::uint8_t>(54, 0));
+  net->unicast(nodes[1], nodes[2], std::vector<std::uint8_t>(54, 0));
+  sim.run();
+  ASSERT_EQ(handlers[2]->packets.size(), 2u);
+  const Time t0 = handlers[2]->packets[0].at;
+  const Time t1 = handlers[2]->packets[1].at;
+  // Second arrival is one extra transmission *and* one processing slot later.
+  EXPECT_GE(t1 - t0, 81);
+}
+
+TEST_F(NetFixture, PointToPointModeSkipsBusQueue) {
+  config.shared_bus = false;
+  build(3);
+  net->unicast(nodes[0], nodes[2], std::vector<std::uint8_t>(54, 0));
+  net->unicast(nodes[1], nodes[2], std::vector<std::uint8_t>(54, 0));
+  sim.run();
+  ASSERT_EQ(handlers[2]->packets.size(), 2u);
+  // Same arrival instant; serialization happens only in the CPU queue.
+  EXPECT_EQ(handlers[2]->packets[1].at - handlers[2]->packets[0].at,
+            config.node_process_cost_us);
+}
+
+TEST_F(NetFixture, PartitionBlocksCrossTraffic) {
+  build(4);
+  net->set_partitions({{nodes[0], nodes[1]}, {nodes[2], nodes[3]}});
+  EXPECT_TRUE(net->reachable(nodes[0], nodes[1]));
+  EXPECT_FALSE(net->reachable(nodes[1], nodes[2]));
+  net->unicast(nodes[0], nodes[2], {1});
+  net->unicast(nodes[0], nodes[1], {2});
+  sim.run();
+  EXPECT_EQ(handlers[2]->packets.size(), 0u);
+  EXPECT_EQ(handlers[1]->packets.size(), 1u);
+}
+
+TEST_F(NetFixture, HealRestoresConnectivity) {
+  build(2);
+  net->set_partitions({{nodes[0]}, {nodes[1]}});
+  net->unicast(nodes[0], nodes[1], {1});
+  net->heal();
+  net->unicast(nodes[0], nodes[1], {2});
+  sim.run();
+  ASSERT_EQ(handlers[1]->packets.size(), 1u);
+  EXPECT_EQ(handlers[1]->packets[0].data[0], 2);
+}
+
+TEST_F(NetFixture, CrashedNodeNeitherSendsNorReceives) {
+  build(2);
+  net->crash(nodes[1]);
+  EXPECT_TRUE(net->crashed(nodes[1]));
+  net->unicast(nodes[0], nodes[1], {1});
+  net->unicast(nodes[1], nodes[0], {2});
+  sim.run();
+  EXPECT_EQ(handlers[1]->packets.size(), 0u);
+  EXPECT_EQ(handlers[0]->packets.size(), 0u);
+}
+
+TEST_F(NetFixture, DropProbabilityDropsDeliveries) {
+  config.drop_probability = 1.0;
+  build(2);
+  net->unicast(nodes[0], nodes[1], {1});
+  sim.run();
+  EXPECT_EQ(handlers[1]->packets.size(), 0u);
+  EXPECT_EQ(net->stats().drops, 1u);
+}
+
+TEST_F(NetFixture, StatsAccounting) {
+  build(3);
+  const std::vector<NodeId> dests{nodes[1], nodes[2]};
+  net->multicast(nodes[0], dests, std::vector<std::uint8_t>(10, 0));
+  sim.run();
+  const NetworkStats& s = net->stats();
+  EXPECT_EQ(s.packets_sent, 1u);     // one bus occupancy for the multicast
+  EXPECT_EQ(s.deliveries, 2u);
+  EXPECT_EQ(s.bytes_sent, 10u);
+  EXPECT_EQ(s.bytes_on_wire, 56u);
+  EXPECT_GT(s.bus_busy_us, 0);
+}
+
+TEST_F(NetFixture, SeparatePartitionsHaveSeparateBuses) {
+  build(4);
+  net->set_partitions({{nodes[0], nodes[1]}, {nodes[2], nodes[3]}});
+  // Simultaneous sends in different partitions do not queue on each other.
+  net->unicast(nodes[0], nodes[1], std::vector<std::uint8_t>(54, 0));
+  net->unicast(nodes[2], nodes[3], std::vector<std::uint8_t>(54, 0));
+  sim.run();
+  ASSERT_EQ(handlers[1]->packets.size(), 1u);
+  ASSERT_EQ(handlers[3]->packets.size(), 1u);
+  EXPECT_EQ(handlers[1]->packets[0].at, handlers[3]->packets[0].at);
+}
+
+}  // namespace
+}  // namespace plwg::sim

@@ -1,0 +1,122 @@
+// Node runtime: port demultiplexing, framing, malformed-input resilience,
+// crash-aware timers, and the process/node identity mapping.
+#include "transport/node_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace plwg::transport {
+namespace {
+
+struct Recorder : PortHandler {
+  void on_message(NodeId from, Decoder& dec) override {
+    froms.push_back(from);
+    values.push_back(dec.get_u32());
+  }
+  std::vector<NodeId> froms;
+  std::vector<std::uint32_t> values;
+};
+
+struct Thrower : PortHandler {
+  void on_message(NodeId, Decoder& dec) override {
+    (void)dec.get_u64();  // demands more bytes than any sender provides
+  }
+};
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest() : net_(sim_, sim::NetworkConfig{}) {}
+  sim::Simulator sim_;
+  sim::Network net_;
+};
+
+TEST_F(TransportTest, RoutesByPort) {
+  NodeRuntime a(net_), b(net_);
+  Recorder vsync_handler, naming_handler;
+  b.register_port(Port::kVsync, vsync_handler);
+  b.register_port(Port::kNaming, naming_handler);
+
+  Encoder payload;
+  payload.put_u32(7);
+  a.send(Port::kVsync, b.id(), payload);
+  Encoder payload2;
+  payload2.put_u32(9);
+  a.send(Port::kNaming, b.id(), payload2);
+  sim_.run();
+
+  ASSERT_EQ(vsync_handler.values.size(), 1u);
+  EXPECT_EQ(vsync_handler.values[0], 7u);
+  EXPECT_EQ(vsync_handler.froms[0], a.id());
+  ASSERT_EQ(naming_handler.values.size(), 1u);
+  EXPECT_EQ(naming_handler.values[0], 9u);
+}
+
+TEST_F(TransportTest, UnboundPortIsDropped) {
+  NodeRuntime a(net_), b(net_);
+  Encoder payload;
+  payload.put_u32(1);
+  a.send(Port::kApp, b.id(), payload);  // no handler registered at b
+  sim_.run();  // must not crash
+  SUCCEED();
+}
+
+TEST_F(TransportTest, MalformedPayloadIsContained) {
+  NodeRuntime a(net_), b(net_);
+  Thrower handler;
+  b.register_port(Port::kApp, handler);
+  Encoder tiny;
+  tiny.put_u8(1);  // Thrower wants a u64
+  a.send(Port::kApp, b.id(), tiny);
+  sim_.run();  // the CodecError is logged, not propagated
+  SUCCEED();
+}
+
+TEST_F(TransportTest, MulticastToProcessIds) {
+  NodeRuntime a(net_), b(net_), c(net_);
+  Recorder hb, hc;
+  b.register_port(Port::kApp, hb);
+  c.register_port(Port::kApp, hc);
+  const std::vector<ProcessId> dests{b.process_id(), c.process_id()};
+  Encoder payload;
+  payload.put_u32(5);
+  a.multicast(Port::kApp, dests, payload);
+  sim_.run();
+  EXPECT_EQ(hb.values, std::vector<std::uint32_t>{5});
+  EXPECT_EQ(hc.values, std::vector<std::uint32_t>{5});
+}
+
+TEST_F(TransportTest, TimerSkippedAfterCrash) {
+  NodeRuntime a(net_);
+  bool fired = false;
+  a.after(1'000, [&] { fired = true; });
+  net_.crash(a.id());
+  sim_.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(TransportTest, TimerFiresOnLiveNode) {
+  NodeRuntime a(net_);
+  Time fired_at = -1;
+  a.after(2'500, [&] { fired_at = a.now(); });
+  sim_.run();
+  EXPECT_EQ(fired_at, 2'500);
+}
+
+TEST_F(TransportTest, ProcessNodeIdentityMapping) {
+  NodeRuntime a(net_), b(net_);
+  EXPECT_EQ(node_of(a.process_id()), a.id());
+  EXPECT_EQ(process_of(b.id()), b.process_id());
+  EXPECT_NE(a.process_id(), b.process_id());
+}
+
+TEST_F(TransportTest, DoubleRegisterSamePortAsserts) {
+  NodeRuntime a(net_);
+  Recorder h1, h2;
+  a.register_port(Port::kApp, h1);
+  EXPECT_DEATH(a.register_port(Port::kApp, h2), "port already registered");
+}
+
+}  // namespace
+}  // namespace plwg::transport

@@ -1,0 +1,100 @@
+#include "util/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/types.hpp"
+
+namespace plwg {
+namespace {
+
+TEST(Codec, RoundTripsFixedWidthIntegers) {
+  Encoder enc;
+  enc.put_u8(0xAB);
+  enc.put_u16(0xBEEF);
+  enc.put_u32(0xDEADBEEF);
+  enc.put_u64(0x0123456789ABCDEFULL);
+  enc.put_i64(-42);
+  enc.put_bool(true);
+  enc.put_bool(false);
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), 0xAB);
+  EXPECT_EQ(dec.get_u16(), 0xBEEF);
+  EXPECT_EQ(dec.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.get_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(dec.get_i64(), -42);
+  EXPECT_TRUE(dec.get_bool());
+  EXPECT_FALSE(dec.get_bool());
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Codec, RoundTripsStrongIds) {
+  Encoder enc;
+  enc.put_id(ProcessId{7});
+  enc.put_id(HwgId{0xFFFF'FFFF'0000'0001ULL});
+  enc.put_id(LwgId{12});
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_id<ProcessId>(), ProcessId{7});
+  EXPECT_EQ(dec.get_id<HwgId>(), HwgId{0xFFFF'FFFF'0000'0001ULL});
+  EXPECT_EQ(dec.get_id<LwgId>(), LwgId{12});
+}
+
+TEST(Codec, RoundTripsBytesAndStrings) {
+  Encoder enc;
+  const std::vector<std::uint8_t> blob{1, 2, 3, 250};
+  enc.put_bytes(blob);
+  enc.put_string("hello world");
+  enc.put_string("");
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_bytes(), blob);
+  EXPECT_EQ(dec.get_string(), "hello world");
+  EXPECT_EQ(dec.get_string(), "");
+  dec.expect_done();
+}
+
+TEST(Codec, PutRawAppendsWithoutPrefix) {
+  Encoder inner;
+  inner.put_u32(99);
+  Encoder outer;
+  outer.put_u8(1);
+  outer.put_raw(inner.bytes());
+  EXPECT_EQ(outer.size(), 5u);
+  Decoder dec(outer.bytes());
+  EXPECT_EQ(dec.get_u8(), 1);
+  EXPECT_EQ(dec.get_u32(), 99u);
+}
+
+TEST(Codec, TruncatedIntegerThrows) {
+  Encoder enc;
+  enc.put_u16(7);
+  Decoder dec(enc.bytes());
+  EXPECT_THROW((void)dec.get_u32(), CodecError);
+}
+
+TEST(Codec, TruncatedBytesThrows) {
+  Encoder enc;
+  enc.put_u32(1000);  // claims 1000 bytes follow, none do
+  Decoder dec(enc.bytes());
+  EXPECT_THROW((void)dec.get_bytes(), CodecError);
+}
+
+TEST(Codec, ExpectDoneThrowsOnTrailingBytes) {
+  Encoder enc;
+  enc.put_u8(1);
+  enc.put_u8(2);
+  Decoder dec(enc.bytes());
+  (void)dec.get_u8();
+  EXPECT_THROW(dec.expect_done(), CodecError);
+}
+
+TEST(Codec, InvalidIdRoundTrips) {
+  Encoder enc;
+  enc.put_id(ProcessId::invalid());
+  Decoder dec(enc.bytes());
+  EXPECT_FALSE(dec.get_id<ProcessId>().valid());
+}
+
+}  // namespace
+}  // namespace plwg

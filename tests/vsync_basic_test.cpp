@@ -1,0 +1,200 @@
+// Basic heavy-weight group behaviour: creation, joining, totally ordered
+// delivery, leaving — the Table 1 interface under failure-free conditions.
+#include <gtest/gtest.h>
+
+#include "vsync_fixture.hpp"
+
+namespace plwg::vsync::testing {
+namespace {
+
+class VsyncBasicTest : public VsyncFixture {};
+
+TEST_F(VsyncBasicTest, CreateInstallsSingletonView) {
+  build(1);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  const View* v = host(0).view_of(gid);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->members, members_of({0}));
+  EXPECT_EQ(v->id.coordinator, pid(0));
+  EXPECT_TRUE(v->predecessors.empty());
+}
+
+TEST_F(VsyncBasicTest, JoinGrowsTheView) {
+  build(3);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  host(1).join_group(gid, MemberSet{pid(0)}, user(1));
+  host(2).join_group(gid, MemberSet{pid(0)}, user(2));
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1, 2}, members_of({0, 1, 2})); },
+      5'000'000));
+  // The common view's predecessors chain back to the singleton.
+  const View* v = host(1).view_of(gid);
+  ASSERT_NE(v, nullptr);
+  EXPECT_FALSE(v->predecessors.empty());
+}
+
+TEST_F(VsyncBasicTest, JoinBatchingMergesSimultaneousJoiners) {
+  build(5);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  for (std::size_t i = 1; i < 5; ++i) {
+    host(i).join_group(gid, MemberSet{pid(0)}, user(i));
+  }
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1, 2, 3, 4}, members_of({0, 1, 2, 3, 4})); },
+      5'000'000));
+  // Batching keeps the number of views small: strictly fewer than one view
+  // change per joiner.
+  EXPECT_LE(user(0).log(gid).epochs.size(), 4u);
+}
+
+TEST_F(VsyncBasicTest, SendDeliversToAllMembersIncludingSender) {
+  build(3);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  host(1).join_group(gid, MemberSet{pid(0)}, user(1));
+  host(2).join_group(gid, MemberSet{pid(0)}, user(2));
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1, 2}, members_of({0, 1, 2})); },
+      5'000'000));
+  host(1).send(gid, payload(42));
+  ASSERT_TRUE(run_until(
+      [&] {
+        return user(0).total_delivered(gid) == 1 &&
+               user(1).total_delivered(gid) == 1 &&
+               user(2).total_delivered(gid) == 1;
+      },
+      2'000'000));
+  const auto& delivered = user(2).log(gid).epochs.back().delivered;
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].first, pid(1));
+  EXPECT_EQ(delivered[0].second[0], 42);
+}
+
+TEST_F(VsyncBasicTest, ConcurrentSendersAreTotallyOrdered) {
+  build(4);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  for (std::size_t i = 1; i < 4; ++i) {
+    host(i).join_group(gid, MemberSet{pid(0)}, user(i));
+  }
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1, 2, 3}, members_of({0, 1, 2, 3})); },
+      5'000'000));
+  constexpr int kPerSender = 10;
+  for (int m = 0; m < kPerSender; ++m) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      host(i).send(gid, payload(static_cast<std::uint8_t>(i * 100 + m)));
+    }
+  }
+  ASSERT_TRUE(run_until(
+      [&] {
+        for (std::size_t i = 0; i < 4; ++i) {
+          if (user(i).total_delivered(gid) != 4 * kPerSender) return false;
+        }
+        return true;
+      },
+      10'000'000));
+  // All processes observe the identical delivery sequence.
+  const auto& ref = user(0).log(gid).epochs.back().delivered;
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(user(i).log(gid).epochs.back().delivered, ref) << "process " << i;
+  }
+  // And per sender the order is FIFO.
+  for (std::size_t s = 0; s < 4; ++s) {
+    int last = -1;
+    for (const auto& [src, data] : ref) {
+      if (src != pid(s)) continue;
+      const int m = data[0] % 100;
+      EXPECT_GT(m, last);
+      last = m;
+    }
+  }
+}
+
+TEST_F(VsyncBasicTest, LeaveShrinksTheView) {
+  build(3);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  host(1).join_group(gid, MemberSet{pid(0)}, user(1));
+  host(2).join_group(gid, MemberSet{pid(0)}, user(2));
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1, 2}, members_of({0, 1, 2})); },
+      5'000'000));
+  host(2).leave_group(gid);
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1}, members_of({0, 1})); }, 5'000'000));
+  EXPECT_FALSE(host(2).is_member(gid));
+}
+
+TEST_F(VsyncBasicTest, CoordinatorLeaveHandsOver) {
+  build(3);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  host(1).join_group(gid, MemberSet{pid(0)}, user(1));
+  host(2).join_group(gid, MemberSet{pid(0)}, user(2));
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1, 2}, members_of({0, 1, 2})); },
+      5'000'000));
+  host(0).leave_group(gid);  // process 0 is the coordinator
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {1, 2}, members_of({1, 2})); }, 5'000'000));
+  // The remaining group still works.
+  host(1).send(gid, payload(5));
+  ASSERT_TRUE(run_until([&] { return user(2).total_delivered(gid) >= 1; },
+                        2'000'000));
+}
+
+TEST_F(VsyncBasicTest, SoleMemberLeaveDissolvesGroup) {
+  build(1);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  host(0).leave_group(gid);
+  EXPECT_FALSE(host(0).is_member(gid));
+  EXPECT_TRUE(host(0).groups().empty());
+}
+
+TEST_F(VsyncBasicTest, SendsDuringViewChangeAreDeliveredInNextView) {
+  build(2);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  host(1).join_group(gid, MemberSet{pid(0)}, user(1));
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1}, members_of({0, 1})); }, 5'000'000));
+  host(0).endpoint(gid)->force_flush();
+  host(0).send(gid, payload(9));  // submitted while the flush runs
+  ASSERT_TRUE(run_until(
+      [&] {
+        return user(1).total_delivered(gid) == 1 &&
+               user(0).total_delivered(gid) == 1;
+      },
+      5'000'000));
+}
+
+TEST_F(VsyncBasicTest, StopUpcallPrecedesViewChange) {
+  build(2);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  host(1).join_group(gid, MemberSet{pid(0)}, user(1));
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1}, members_of({0, 1})); }, 5'000'000));
+  const int stops_before = user(0).log(gid).stops;
+  host(0).endpoint(gid)->force_flush();
+  run_for(2'000'000);
+  EXPECT_GT(user(0).log(gid).stops, stops_before);
+}
+
+TEST_F(VsyncBasicTest, GroupIdsAreUniquePerCreator) {
+  build(2);
+  const HwgId a = host(0).allocate_group_id();
+  const HwgId b = host(0).allocate_group_id();
+  const HwgId c = host(1).allocate_group_id();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+}  // namespace
+}  // namespace plwg::vsync::testing

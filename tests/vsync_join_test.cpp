@@ -1,0 +1,109 @@
+// Join-path edge cases at the heavy-weight layer: unreachable contacts,
+// joins across partitions, duplicate joins, join retries, and abandoning a
+// join in flight.
+#include <gtest/gtest.h>
+
+#include "vsync_fixture.hpp"
+
+namespace plwg::vsync::testing {
+namespace {
+
+class VsyncJoinTest : public VsyncFixture {};
+
+TEST_F(VsyncJoinTest, JoinRetriesUntilContactBecomesReachable) {
+  build(2);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  net_->set_partitions({{node(0)}, {node(1)}});
+  host(1).join_group(gid, MemberSet{pid(0)}, user(1));
+  run_for(3'000'000);
+  EXPECT_EQ(host(1).view_of(gid), nullptr);  // still joining
+  net_->heal();
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1}, members_of({0, 1})); }, 10'000'000));
+}
+
+TEST_F(VsyncJoinTest, JoinThroughForwardingMember) {
+  // The joiner only knows a non-coordinator member; the JOIN_REQ must be
+  // forwarded to the acting coordinator.
+  build(3);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  host(1).join_group(gid, MemberSet{pid(0)}, user(1));
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1}, members_of({0, 1})); }, 10'000'000));
+  host(2).join_group(gid, MemberSet{pid(1)}, user(2));  // contact != coord
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1, 2}, members_of({0, 1, 2})); },
+      10'000'000));
+}
+
+TEST_F(VsyncJoinTest, AbandonedJoinLeavesNoResidue) {
+  build(2);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  net_->set_partitions({{node(0)}, {node(1)}});
+  host(1).join_group(gid, MemberSet{pid(0)}, user(1));
+  run_for(1'000'000);
+  host(1).leave_group(gid);  // abandon the join attempt
+  EXPECT_FALSE(host(1).is_member(gid));
+  net_->heal();
+  run_for(5'000'000);
+  // The abandoned joiner never appears in the group.
+  EXPECT_EQ(host(0).view_of(gid)->members, members_of({0}));
+}
+
+TEST_F(VsyncJoinTest, LateJoinReqAfterMembershipIsAnsweredWithView) {
+  // A joiner whose NEW_VIEW was lost re-sends JOIN_REQ; members answer by
+  // re-publishing the view rather than running another view change.
+  sim::NetworkConfig cfg;
+  cfg.drop_probability = 0.25;
+  cfg.seed = 17;
+  build(2, cfg);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  host(1).join_group(gid, MemberSet{pid(0)}, user(1));
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1}, members_of({0, 1})); },
+      60'000'000));
+}
+
+TEST_F(VsyncJoinTest, ManySimultaneousJoinersConvergeInFewViews) {
+  build(8);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  MemberSet all{pid(0)};
+  for (std::size_t i = 1; i < 8; ++i) {
+    host(i).join_group(gid, MemberSet{pid(0)}, user(i));
+    all.insert(pid(i));
+  }
+  ASSERT_TRUE(run_until(
+      [&] {
+        return converged(gid, {0, 1, 2, 3, 4, 5, 6, 7}, all);
+      },
+      15'000'000));
+  // Batching: far fewer view changes than joiners.
+  EXPECT_LE(user(0).log(gid).epochs.size(), 5u);
+}
+
+TEST_F(VsyncJoinTest, JoinerBringsNoStaleState) {
+  build(3);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  host(1).join_group(gid, MemberSet{pid(0)}, user(1));
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1}, members_of({0, 1})); }, 10'000'000));
+  host(0).send(gid, payload(1));
+  ASSERT_TRUE(
+      run_until([&] { return user(1).total_delivered(gid) == 1; }, 5'000'000));
+  host(2).join_group(gid, MemberSet{pid(0)}, user(2));
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1, 2}, members_of({0, 1, 2})); },
+      10'000'000));
+  // The pre-join message is not replayed to the joiner.
+  run_for(2'000'000);
+  EXPECT_EQ(user(2).total_delivered(gid), 0u);
+}
+
+}  // namespace
+}  // namespace plwg::vsync::testing

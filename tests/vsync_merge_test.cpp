@@ -1,0 +1,163 @@
+// Merge-protocol robustness: merges under traffic, repeated splits during a
+// merge, voluntary leavers being forgotten by the probe machinery, and
+// genealogy integrity of merged views.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "vsync_fixture.hpp"
+
+namespace plwg::vsync::testing {
+namespace {
+
+class VsyncMergeTest : public VsyncFixture {
+ protected:
+  HwgId form_group(std::size_t n) {
+    build(n);
+    const HwgId gid = host(0).allocate_group_id();
+    host(0).create_group(gid, user(0));
+    std::vector<std::size_t> all{0};
+    MemberSet members{pid(0)};
+    for (std::size_t i = 1; i < n; ++i) {
+      host(i).join_group(gid, MemberSet{pid(0)}, user(i));
+      all.push_back(i);
+      members.insert(pid(i));
+    }
+    EXPECT_TRUE(
+        run_until([&] { return converged(gid, all, members); }, 15'000'000));
+    return gid;
+  }
+
+  void split2(const HwgId gid) {
+    net_->set_partitions({{node(0), node(1)}, {node(2), node(3)}});
+    ASSERT_TRUE(run_until(
+        [&] {
+          return converged(gid, {0, 1}, members_of({0, 1})) &&
+                 converged(gid, {2, 3}, members_of({2, 3}));
+        },
+        20'000'000));
+  }
+};
+
+TEST_F(VsyncMergeTest, MergeUnderContinuousTraffic) {
+  const HwgId gid = form_group(4);
+  split2(gid);
+  net_->heal();
+  std::uint8_t tag = 0;
+  for (int i = 0; i < 30; ++i) {
+    host(0).send(gid, payload(tag++));
+    host(2).send(gid, payload(tag++));
+    run_for(200'000);
+  }
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1, 2, 3}, members_of({0, 1, 2, 3})); },
+      30'000'000));
+  // Post-merge, everyone agrees on the merged-epoch deliveries.
+  run_for(3'000'000);
+  const auto& a = user(0).log(gid).epochs.back().delivered;
+  const auto& b = user(2).log(gid).epochs.back().delivered;
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(VsyncMergeTest, ResplitDuringMergeRecovers) {
+  const HwgId gid = form_group(4);
+  split2(gid);
+  net_->heal();
+  run_for(1'200'000);  // probes fired, a merge is likely mid-flight
+  net_->set_partitions({{node(0), node(1)}, {node(2), node(3)}});
+  // Both sides must re-form working 2-member views whatever state the
+  // aborted merge left them in.
+  ASSERT_TRUE(run_until(
+      [&] {
+        return converged(gid, {0, 1}, members_of({0, 1})) &&
+               converged(gid, {2, 3}, members_of({2, 3}));
+      },
+      40'000'000));
+  // And a final heal still converges.
+  net_->heal();
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1, 2, 3}, members_of({0, 1, 2, 3})); },
+      40'000'000));
+}
+
+TEST_F(VsyncMergeTest, VoluntaryLeaverIsForgottenByProbes) {
+  const HwgId gid = form_group(3);
+  host(2).leave_group(gid);
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1}, members_of({0, 1})); }, 10'000'000));
+  run_for(1'000'000);  // let the departure propagate
+  // The survivors' known-peer sets no longer include the leaver, so merge
+  // probes will not chase it forever.
+  EXPECT_FALSE(host(0).endpoint(gid)->known_peers().contains(pid(2)));
+  EXPECT_FALSE(host(1).endpoint(gid)->known_peers().contains(pid(2)));
+}
+
+TEST_F(VsyncMergeTest, CrashedMemberStaysProbeable) {
+  // A crash is indistinguishable from a partition: the excluded member must
+  // REMAIN in known_peers so a later "heal" (here: none) would reconnect it.
+  const HwgId gid = form_group(3);
+  net_->crash(node(2));
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1}, members_of({0, 1})); }, 15'000'000));
+  EXPECT_TRUE(host(0).endpoint(gid)->known_peers().contains(pid(2)));
+}
+
+TEST_F(VsyncMergeTest, MergedViewGenealogyListsBothConstituents) {
+  const HwgId gid = form_group(4);
+  const ViewId pre_split = host(0).view_of(gid)->id;
+  split2(gid);
+  const ViewId left = host(0).view_of(gid)->id;
+  const ViewId right = host(2).view_of(gid)->id;
+  net_->heal();
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1, 2, 3}, members_of({0, 1, 2, 3})); },
+      30'000'000));
+  const View* merged = host(1).view_of(gid);
+  ASSERT_NE(merged, nullptr);
+  const auto& preds = merged->predecessors;
+  EXPECT_NE(std::find(preds.begin(), preds.end(), left), preds.end());
+  EXPECT_NE(std::find(preds.begin(), preds.end(), right), preds.end());
+  EXPECT_EQ(std::find(preds.begin(), preds.end(), pre_split), preds.end());
+}
+
+TEST_F(VsyncMergeTest, UnevenSplitMerges) {
+  const HwgId gid = form_group(5);
+  net_->set_partitions({{node(0)}, {node(1), node(2), node(3), node(4)}});
+  ASSERT_TRUE(run_until(
+      [&] {
+        return converged(gid, {0}, members_of({0})) &&
+               converged(gid, {1, 2, 3, 4}, members_of({1, 2, 3, 4}));
+      },
+      20'000'000));
+  net_->heal();
+  ASSERT_TRUE(run_until(
+      [&] {
+        return converged(gid, {0, 1, 2, 3, 4},
+                         members_of({0, 1, 2, 3, 4}));
+      },
+      30'000'000));
+}
+
+TEST_F(VsyncMergeTest, MessagesSentInPartitionNeverCrossIt) {
+  const HwgId gid = form_group(4);
+  split2(gid);
+  const auto base = user(3).total_delivered(gid);
+  host(0).send(gid, payload(0xEE));
+  run_for(3'000'000);
+  EXPECT_EQ(user(3).total_delivered(gid), base);
+  // Even after the merge, the partition-era message does not appear on the
+  // other side (it was delivered inside the old view).
+  net_->heal();
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1, 2, 3}, members_of({0, 1, 2, 3})); },
+      30'000'000));
+  run_for(2'000'000);
+  for (const auto& e : user(3).log(gid).epochs) {
+    for (const auto& [src, data] : e.delivered) {
+      EXPECT_NE(data[0], 0xEE);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plwg::vsync::testing

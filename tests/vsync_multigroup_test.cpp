@@ -1,0 +1,145 @@
+// A host in several heavy-weight groups at once: isolation of state and
+// traffic between endpoints, independent view changes, and endpoint stats.
+#include <gtest/gtest.h>
+
+#include "vsync_fixture.hpp"
+
+namespace plwg::vsync::testing {
+namespace {
+
+class VsyncMultiGroupTest : public VsyncFixture {};
+
+TEST_F(VsyncMultiGroupTest, GroupsOnOneHostAreIsolated) {
+  build(3);
+  const HwgId g1 = host(0).allocate_group_id();
+  const HwgId g2 = host(0).allocate_group_id();
+  host(0).create_group(g1, user(0));
+  host(0).create_group(g2, user(0));
+  host(1).join_group(g1, MemberSet{pid(0)}, user(1));
+  host(2).join_group(g2, MemberSet{pid(0)}, user(2));
+  ASSERT_TRUE(run_until(
+      [&] {
+        return converged(g1, {0, 1}, members_of({0, 1})) &&
+               converged(g2, {0, 2}, members_of({0, 2}));
+      },
+      10'000'000));
+  host(0).send(g1, payload(1));
+  host(0).send(g2, payload(2));
+  ASSERT_TRUE(run_until(
+      [&] {
+        return user(1).total_delivered(g1) == 1 &&
+               user(2).total_delivered(g2) == 1;
+      },
+      5'000'000));
+  EXPECT_EQ(user(1).total_delivered(g2), 0u);
+  EXPECT_EQ(user(2).total_delivered(g1), 0u);
+  EXPECT_EQ(host(0).groups().size(), 2u);
+  EXPECT_EQ(host(1).groups().size(), 1u);
+}
+
+TEST_F(VsyncMultiGroupTest, ViewChangeInOneGroupLeavesOthersUntouched) {
+  build(3);
+  const HwgId g1 = host(0).allocate_group_id();
+  const HwgId g2 = host(0).allocate_group_id();
+  host(0).create_group(g1, user(0));
+  host(0).create_group(g2, user(0));
+  for (std::size_t i : {1ul, 2ul}) {
+    host(i).join_group(g1, MemberSet{pid(0)}, user(i));
+    host(i).join_group(g2, MemberSet{pid(0)}, user(i));
+  }
+  ASSERT_TRUE(run_until(
+      [&] {
+        return converged(g1, {0, 1, 2}, members_of({0, 1, 2})) &&
+               converged(g2, {0, 1, 2}, members_of({0, 1, 2}));
+      },
+      10'000'000));
+  const ViewId g2_view = host(0).view_of(g2)->id;
+  host(2).leave_group(g1);  // view change in g1 only
+  ASSERT_TRUE(run_until(
+      [&] { return converged(g1, {0, 1}, members_of({0, 1})); }, 10'000'000));
+  EXPECT_EQ(host(0).view_of(g2)->id, g2_view);
+  EXPECT_EQ(host(0).view_of(g2)->members, members_of({0, 1, 2}));
+}
+
+TEST_F(VsyncMultiGroupTest, PartitionSplitsEveryGroupIndependently) {
+  build(4);
+  const HwgId g1 = host(0).allocate_group_id();
+  const HwgId g2 = host(1).allocate_group_id();
+  host(0).create_group(g1, user(0));
+  host(1).create_group(g2, user(1));
+  host(1).join_group(g1, MemberSet{pid(0)}, user(1));
+  host(2).join_group(g1, MemberSet{pid(0)}, user(2));
+  host(2).join_group(g2, MemberSet{pid(1)}, user(2));
+  host(3).join_group(g2, MemberSet{pid(1)}, user(3));
+  ASSERT_TRUE(run_until(
+      [&] {
+        return converged(g1, {0, 1, 2}, members_of({0, 1, 2})) &&
+               converged(g2, {1, 2, 3}, members_of({1, 2, 3}));
+      },
+      15'000'000));
+  net_->set_partitions({{node(0), node(1)}, {node(2), node(3)}});
+  ASSERT_TRUE(run_until(
+      [&] {
+        return converged(g1, {0, 1}, members_of({0, 1})) &&
+               converged(g1, {2}, members_of({2})) &&
+               converged(g2, {1}, members_of({1})) &&
+               converged(g2, {2, 3}, members_of({2, 3}));
+      },
+      20'000'000));
+  net_->heal();
+  ASSERT_TRUE(run_until(
+      [&] {
+        return converged(g1, {0, 1, 2}, members_of({0, 1, 2})) &&
+               converged(g2, {1, 2, 3}, members_of({1, 2, 3}));
+      },
+      40'000'000));
+}
+
+TEST_F(VsyncMultiGroupTest, EndpointStatsAreTracked) {
+  build(2);
+  const HwgId gid = host(0).allocate_group_id();
+  host(0).create_group(gid, user(0));
+  host(1).join_group(gid, MemberSet{pid(0)}, user(1));
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1}, members_of({0, 1})); }, 10'000'000));
+  host(0).send(gid, payload(1));
+  host(1).send(gid, payload(2));
+  ASSERT_TRUE(run_until(
+      [&] { return user(0).total_delivered(gid) == 2; }, 5'000'000));
+  const GroupEndpoint::Stats& s0 = host(0).endpoint(gid)->stats();
+  EXPECT_GE(s0.views_installed, 2u);  // singleton + joined view
+  EXPECT_EQ(s0.msgs_sent, 1u);
+  EXPECT_EQ(s0.msgs_delivered, 2u);
+  EXPECT_GE(s0.flushes_started, 1u);  // the join's view change
+}
+
+TEST_F(VsyncMultiGroupTest, ManyGroupsOnOneHostScale) {
+  build(2);
+  std::vector<HwgId> gids;
+  for (int g = 0; g < 12; ++g) {
+    const HwgId gid = host(0).allocate_group_id();
+    host(0).create_group(gid, user(0));
+    host(1).join_group(gid, MemberSet{pid(0)}, user(1));
+    gids.push_back(gid);
+  }
+  ASSERT_TRUE(run_until(
+      [&] {
+        for (HwgId gid : gids) {
+          if (!converged(gid, {0, 1}, members_of({0, 1}))) return false;
+        }
+        return true;
+      },
+      30'000'000));
+  for (HwgId gid : gids) host(0).send(gid, payload(3));
+  ASSERT_TRUE(run_until(
+      [&] {
+        for (HwgId gid : gids) {
+          if (user(1).total_delivered(gid) != 1) return false;
+        }
+        return true;
+      },
+      15'000'000));
+}
+
+}  // namespace
+}  // namespace plwg::vsync::testing
