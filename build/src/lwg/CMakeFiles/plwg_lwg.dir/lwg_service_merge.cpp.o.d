@@ -171,8 +171,8 @@ src/lwg/CMakeFiles/plwg_lwg.dir/lwg_service_merge.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/util/codec.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/util/codec.hpp /usr/include/c++/12/bit \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/util/types.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -187,11 +187,11 @@ src/lwg/CMakeFiles/plwg_lwg.dir/lwg_service_merge.cpp.o: \
  /root/repo/src/vsync/view.hpp /root/repo/src/lwg/messages.hpp \
  /root/repo/src/lwg/policy.hpp /root/repo/src/names/naming_agent.hpp \
  /root/repo/src/names/mapping.hpp /root/repo/src/names/messages.hpp \
- /root/repo/src/transport/node_runtime.hpp /root/repo/src/sim/network.hpp \
+ /root/repo/src/transport/node_runtime.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/network.hpp \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -226,12 +226,14 @@ src/lwg/CMakeFiles/plwg_lwg.dir/lwg_service_merge.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/rng.hpp \
- /root/repo/src/vsync/vsync_host.hpp /root/repo/src/vsync/config.hpp \
- /root/repo/src/vsync/group_endpoint.hpp \
+ /root/repo/src/sim/simulator.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/util/assert.hpp /root/repo/src/util/function.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/vsync/vsync_host.hpp \
+ /root/repo/src/vsync/config.hpp /root/repo/src/vsync/group_endpoint.hpp \
  /root/repo/src/vsync/group_user.hpp /root/repo/src/vsync/messages.hpp \
- /root/repo/src/util/assert.hpp /root/repo/src/util/log.hpp \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/util/log.hpp /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

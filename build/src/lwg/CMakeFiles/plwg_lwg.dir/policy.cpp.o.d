@@ -162,8 +162,8 @@ src/lwg/CMakeFiles/plwg_lwg.dir/policy.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/util/codec.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/util/codec.hpp /usr/include/c++/12/bit \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/util/types.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \

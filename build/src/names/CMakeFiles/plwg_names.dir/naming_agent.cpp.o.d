@@ -176,16 +176,16 @@ src/names/CMakeFiles/plwg_names.dir/naming_agent.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/codec.hpp \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/util/types.hpp /usr/include/c++/12/limits \
- /root/repo/src/util/member_set.hpp /root/repo/src/vsync/view.hpp \
- /root/repo/src/names/messages.hpp \
- /root/repo/src/transport/node_runtime.hpp /root/repo/src/sim/network.hpp \
+ /usr/include/c++/12/bit /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/util/types.hpp \
+ /usr/include/c++/12/limits /root/repo/src/util/member_set.hpp \
+ /root/repo/src/vsync/view.hpp /root/repo/src/names/messages.hpp \
+ /root/repo/src/transport/node_runtime.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/network.hpp \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -220,10 +220,12 @@ src/names/CMakeFiles/plwg_names.dir/naming_agent.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/rng.hpp /root/repo/src/util/assert.hpp \
- /root/repo/src/util/log.hpp /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/sim/simulator.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/util/assert.hpp /root/repo/src/util/function.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/util/log.hpp \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -1,6 +1,7 @@
 src/util/CMakeFiles/plwg_util.dir/codec.cpp.o: \
  /root/repo/src/util/codec.cpp /usr/include/stdc-predef.h \
- /root/repo/src/util/codec.hpp /usr/include/c++/12/cstdint \
+ /root/repo/src/util/codec.hpp /usr/include/c++/12/bit \
+ /usr/include/c++/12/type_traits \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -12,6 +13,9 @@ src/util/CMakeFiles/plwg_util.dir/codec.cpp.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
  /usr/include/c++/12/pstl/pstl_config.h \
+ /usr/include/c++/12/ext/numeric_traits.h \
+ /usr/include/c++/12/bits/cpp_type_traits.h \
+ /usr/include/c++/12/ext/type_traits.h /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
  /usr/include/x86_64-linux-gnu/bits/types.h \
@@ -26,14 +30,10 @@ src/util/CMakeFiles/plwg_util.dir/codec.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/__locale_t.h \
  /usr/include/strings.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/compare \
- /usr/include/c++/12/concepts /usr/include/c++/12/type_traits \
- /usr/include/c++/12/initializer_list \
+ /usr/include/c++/12/concepts /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
  /usr/include/c++/12/bits/stl_algobase.h \
- /usr/include/c++/12/bits/cpp_type_traits.h \
- /usr/include/c++/12/ext/type_traits.h \
- /usr/include/c++/12/ext/numeric_traits.h \
  /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/bits/move.h \
  /usr/include/c++/12/bits/utility.h \
  /usr/include/c++/12/bits/stl_iterator_base_types.h \

@@ -180,13 +180,11 @@ src/vsync/CMakeFiles/plwg_vsync.dir/group_endpoint_merge.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/sim/simulator.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/member_set.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/util/codec.hpp \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/vsync/config.hpp /root/repo/src/vsync/group_user.hpp \
- /root/repo/src/vsync/view.hpp /root/repo/src/vsync/messages.hpp \
- /root/repo/src/vsync/vsync_host.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -220,9 +218,14 @@ src/vsync/CMakeFiles/plwg_vsync.dir/group_endpoint_merge.cpp.o: \
  /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/function.hpp \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/util/member_set.hpp /usr/include/c++/12/span \
+ /root/repo/src/util/codec.hpp /root/repo/src/vsync/config.hpp \
+ /root/repo/src/vsync/group_user.hpp /root/repo/src/vsync/view.hpp \
+ /root/repo/src/vsync/messages.hpp /root/repo/src/vsync/vsync_host.hpp \
  /root/repo/src/transport/node_runtime.hpp /root/repo/src/sim/network.hpp \
  /root/repo/src/util/rng.hpp

@@ -58,8 +58,8 @@ src/vsync/CMakeFiles/plwg_vsync.dir/messages.cpp.o: \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/util/codec.hpp \
- /usr/include/c++/12/cstring /usr/include/string.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
+ /usr/include/c++/12/bit /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/include/x86_64-linux-gnu/bits/types/locale_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/__locale_t.h \
  /usr/include/strings.h /usr/include/c++/12/span \

@@ -304,8 +304,11 @@ tests/CMakeFiles/test_integration.dir/integration_churn_test.cpp.o: \
  /root/repo/src/lwg/policy.hpp /root/repo/src/names/naming_agent.hpp \
  /root/repo/src/names/mapping.hpp /root/repo/src/names/messages.hpp \
  /root/repo/src/transport/node_runtime.hpp /root/repo/src/sim/network.hpp \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/rng.hpp \
- /root/repo/src/vsync/vsync_host.hpp /root/repo/src/vsync/config.hpp \
- /root/repo/src/vsync/group_endpoint.hpp \
+ /root/repo/src/sim/simulator.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/util/assert.hpp /root/repo/src/util/function.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/vsync/vsync_host.hpp \
+ /root/repo/src/vsync/config.hpp /root/repo/src/vsync/group_endpoint.hpp \
  /root/repo/src/vsync/group_user.hpp /root/repo/src/vsync/messages.hpp

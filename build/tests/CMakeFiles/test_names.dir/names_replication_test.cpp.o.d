@@ -302,7 +302,5 @@ tests/CMakeFiles/test_names.dir/names_replication_test.cpp.o: \
  /root/repo/src/util/member_set.hpp /root/repo/src/vsync/view.hpp \
  /root/repo/src/names/messages.hpp \
  /root/repo/src/transport/node_runtime.hpp /root/repo/src/sim/network.hpp \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/rng.hpp
+ /root/repo/src/sim/simulator.hpp /root/repo/src/util/assert.hpp \
+ /root/repo/src/util/function.hpp /root/repo/src/util/rng.hpp

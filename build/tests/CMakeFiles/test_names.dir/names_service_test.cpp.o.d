@@ -299,7 +299,9 @@ tests/CMakeFiles/test_names.dir/names_service_test.cpp.o: \
  /root/repo/src/util/member_set.hpp /root/repo/src/vsync/view.hpp \
  /root/repo/src/names/messages.hpp \
  /root/repo/src/transport/node_runtime.hpp /root/repo/src/sim/network.hpp \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/simulator.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/util/assert.hpp /root/repo/src/util/function.hpp \
  /root/repo/src/util/rng.hpp

@@ -294,7 +294,10 @@ tests/CMakeFiles/test_sim.dir/sim_cpu_charge_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/sim/network.hpp /usr/include/c++/12/span \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/types.hpp /root/repo/src/util/rng.hpp
+ /root/repo/src/sim/simulator.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/util/assert.hpp /root/repo/src/util/function.hpp \
+ /usr/include/c++/12/cstring /root/repo/src/util/types.hpp \
+ /root/repo/src/util/rng.hpp

@@ -293,9 +293,12 @@ tests/CMakeFiles/test_util.dir/codec_fuzz_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/lwg/messages.hpp /root/repo/src/lwg/lwg_view.hpp \
- /root/repo/src/util/codec.hpp /usr/include/c++/12/cstring \
- /usr/include/c++/12/span /root/repo/src/util/types.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/lwg/messages.hpp /usr/include/c++/12/span \
+ /root/repo/src/lwg/lwg_view.hpp /root/repo/src/util/codec.hpp \
+ /usr/include/c++/12/cstring /root/repo/src/util/types.hpp \
  /root/repo/src/util/member_set.hpp /root/repo/src/vsync/view.hpp \
  /root/repo/src/names/messages.hpp /root/repo/src/names/mapping.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/vsync/messages.hpp

@@ -1,6 +1,7 @@
 tests/CMakeFiles/test_util.dir/util_codec_test.cpp.o: \
  /root/repo/tests/util_codec_test.cpp /usr/include/stdc-predef.h \
- /root/repo/src/util/codec.hpp /usr/include/c++/12/cstdint \
+ /root/repo/src/util/codec.hpp /usr/include/c++/12/bit \
+ /usr/include/c++/12/type_traits \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -12,6 +13,9 @@ tests/CMakeFiles/test_util.dir/util_codec_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
  /usr/include/c++/12/pstl/pstl_config.h \
+ /usr/include/c++/12/ext/numeric_traits.h \
+ /usr/include/c++/12/bits/cpp_type_traits.h \
+ /usr/include/c++/12/ext/type_traits.h /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
  /usr/include/x86_64-linux-gnu/bits/types.h \
@@ -26,14 +30,10 @@ tests/CMakeFiles/test_util.dir/util_codec_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/__locale_t.h \
  /usr/include/strings.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/compare \
- /usr/include/c++/12/concepts /usr/include/c++/12/type_traits \
- /usr/include/c++/12/initializer_list \
+ /usr/include/c++/12/concepts /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
  /usr/include/c++/12/bits/stl_algobase.h \
- /usr/include/c++/12/bits/cpp_type_traits.h \
- /usr/include/c++/12/ext/type_traits.h \
- /usr/include/c++/12/ext/numeric_traits.h \
  /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/bits/move.h \
  /usr/include/c++/12/bits/utility.h \
  /usr/include/c++/12/bits/stl_iterator_base_types.h \
@@ -177,8 +177,7 @@ tests/CMakeFiles/test_util.dir/util_codec_test.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -294,4 +293,7 @@ tests/CMakeFiles/test_util.dir/util_codec_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
- /root/miniconda/include/gtest/gtest_pred_impl.h
+ /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -298,12 +298,12 @@ tests/CMakeFiles/test_vsync.dir/vsync_merge_test.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/tests/vsync_fixture.hpp /root/repo/src/sim/network.hpp \
  /usr/include/c++/12/span /root/repo/src/sim/simulator.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/types.hpp \
+ /root/repo/src/util/assert.hpp /root/repo/src/util/function.hpp \
+ /usr/include/c++/12/cstring /root/repo/src/util/types.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/transport/node_runtime.hpp \
- /root/repo/src/util/codec.hpp /usr/include/c++/12/cstring \
- /root/repo/src/vsync/vsync_host.hpp /root/repo/src/vsync/config.hpp \
- /root/repo/src/vsync/group_endpoint.hpp \
- /root/repo/src/util/member_set.hpp /root/repo/src/vsync/group_user.hpp \
- /root/repo/src/vsync/view.hpp /root/repo/src/vsync/messages.hpp
+ /root/repo/src/util/codec.hpp /root/repo/src/vsync/vsync_host.hpp \
+ /root/repo/src/vsync/config.hpp /root/repo/src/vsync/group_endpoint.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/member_set.hpp \
+ /root/repo/src/vsync/group_user.hpp /root/repo/src/vsync/view.hpp \
+ /root/repo/src/vsync/messages.hpp

@@ -47,7 +47,7 @@ void LwgService::leave(LwgId lwg) {
     return;
   }
   set_phase(*lg, Phase::kLeaving);
-  Encoder body;
+  Encoder& body = scratch_body();
   LeaveMsg{lwg, self()}.encode(body);
   send_lwg_msg(lg->hwg, LwgMsgType::kLeave, body);
 }
@@ -65,7 +65,8 @@ void LwgService::send(LwgId lwg, std::vector<std::uint8_t> data) {
   }
   stats_.data_sent++;
   DataMsg msg{lwg, lg->view.id, std::move(data)};
-  Encoder body;
+  Encoder& body = scratch_body();
+  body.reserve(msg.encoded_size_hint());
   msg.encode(body);
   send_lwg_msg(lg->hwg, LwgMsgType::kData, body);
 }
@@ -113,6 +114,7 @@ LwgService::HwgState& LwgService::hwg_state(HwgId gid) {
 void LwgService::send_lwg_msg(HwgId hwg, LwgMsgType type,
                               const Encoder& body) {
   Encoder packet;
+  packet.reserve(1 + body.size());
   packet.put_u8(static_cast<std::uint8_t>(type));
   packet.put_raw(body.bytes());
   vsync_.send(hwg, packet.take());
@@ -186,7 +188,7 @@ void LwgService::drain_queued_sends(LocalGroup& lg) {
     lg.queued_sends.pop_front();
     stats_.data_sent++;
     DataMsg msg{lg.lwg, lg.view.id, std::move(data)};
-    Encoder body;
+    Encoder& body = scratch_body();
     msg.encode(body);
     send_lwg_msg(lg.hwg, LwgMsgType::kData, body);
   }
@@ -223,7 +225,7 @@ void LwgService::on_data(HwgId gid, ProcessId src,
   const auto type = static_cast<LwgMsgType>(dec.get_u8());
   switch (type) {
     case LwgMsgType::kData:
-      handle_data(gid, src, DataMsg::decode(dec));
+      handle_data(gid, src, DataMsgView::decode(dec));
       break;
     case LwgMsgType::kJoin:
       handle_join(gid, JoinMsg::decode(dec));
@@ -275,7 +277,7 @@ void LwgService::on_view(HwgId gid, const vsync::View& view) {
     const std::vector<LwgViewInfo> mine = local_views_on(gid);
     if (!mine.empty()) {
       AnnounceMsg msg{mine};
-      Encoder body;
+      Encoder& body = scratch_body();
       msg.encode(body);
       send_lwg_msg(gid, LwgMsgType::kAnnounce, body);
     }
@@ -366,7 +368,7 @@ void LwgService::tick() {
         now - hs.merge_requested_since >
             config_.merge_gather_us + 3'000'000) {
       hs.merge_requested_since = now;
-      Encoder body;
+      Encoder& body = scratch_body();
       MergeViewsMsg{}.encode(body);
       send_lwg_msg(gid, LwgMsgType::kMergeViews, body);
     }

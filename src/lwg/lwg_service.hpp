@@ -176,6 +176,12 @@ class LwgService : public GroupService,
   [[nodiscard]] LocalGroup* find_group(LwgId lwg);
   [[nodiscard]] HwgState& hwg_state(HwgId gid);
   void send_lwg_msg(HwgId hwg, LwgMsgType type, const Encoder& body);
+  /// Reused body buffer for all LWG protocol sends (see
+  /// GroupEndpoint::scratch_body for the safety argument).
+  Encoder& scratch_body() {
+    body_scratch_.clear();
+    return body_scratch_;
+  }
   [[nodiscard]] ViewId mint_view_id();
   void tick();
   void install_lwg_view(LocalGroup& lg, const LwgView& view,
@@ -202,7 +208,7 @@ class LwgService : public GroupService,
   void handle_switch_ready(HwgId gid, const SwitchReadyMsg& msg);
   void handle_switched(HwgId gid, const SwitchedMsg& msg);
   void handle_redirect(HwgId gid, const RedirectMsg& msg);
-  void handle_data(HwgId gid, ProcessId src, const DataMsg& msg);
+  void handle_data(HwgId gid, ProcessId src, const DataMsgView& msg);
   void maybe_send_switch_ready(LocalGroup& lg);
   /// Coordinator: fold pending adds/removes into the next LWG view if no
   /// view installation is already in flight.
@@ -224,6 +230,8 @@ class LwgService : public GroupService,
   [[nodiscard]] std::size_t lwgs_using_hwg(HwgId gid) const;
 
   vsync::VsyncHost& vsync_;
+
+  Encoder body_scratch_;
   names::NamingAgent& names_;
   LwgConfig config_;
   std::map<LwgId, LocalGroup> groups_;

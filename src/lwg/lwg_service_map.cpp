@@ -138,7 +138,7 @@ void LwgService::establish_new_mapping(LocalGroup& lg) {
           // peer discovery, Step 3).
           if (g->has_view && vsync_.is_member(g->hwg)) {
             AnnounceMsg announce{{LwgViewInfo{g->lwg, g->view, {}}}};
-            Encoder body;
+            Encoder& body = scratch_body();
             announce.encode(body);
             send_lwg_msg(g->hwg, LwgMsgType::kAnnounce, body);
           }
@@ -174,7 +174,7 @@ void LwgService::adopt_mapping(LocalGroup& lg,
 void LwgService::announce_join(LocalGroup& lg) {
   set_phase(lg, Phase::kAnnounced);
   lg.announce_attempts++;
-  Encoder body;
+  Encoder& body = scratch_body();
   JoinMsg{lg.lwg, self()}.encode(body);
   send_lwg_msg(lg.hwg, LwgMsgType::kJoin, body);
 }
@@ -191,7 +191,7 @@ void LwgService::handle_join(HwgId gid, const JoinMsg& msg) {
     if (hv == nullptr || hv->coordinator() != self()) return;
     RedirectMsg redirect{msg.lwg, msg.joiner, fwd->second.first,
                          fwd->second.second};
-    Encoder body;
+    Encoder& body = scratch_body();
     redirect.encode(body);
     send_lwg_msg(gid, LwgMsgType::kRedirect, body);
     return;
@@ -201,7 +201,7 @@ void LwgService::handle_join(HwgId gid, const JoinMsg& msg) {
     if (lg->view.coordinator() == self()) {
       // Duplicate announce: re-publish the current view for the joiner.
       ViewMsg vm{lg->lwg, lg->view, {}};
-      Encoder body;
+      Encoder& body = scratch_body();
       vm.encode(body);
       send_lwg_msg(gid, LwgMsgType::kView, body);
     }
@@ -252,7 +252,7 @@ void LwgService::maybe_install_next_view(LocalGroup& lg) {
   lg.inflight_view = view.id;
   lg.inflight_since = vsync_.node().now();
   ViewMsg vm{lg.lwg, view, {lg.view.id}};
-  Encoder body;
+  Encoder& body = scratch_body();
   vm.encode(body);
   send_lwg_msg(lg.hwg, LwgMsgType::kView, body);
 }
@@ -328,7 +328,7 @@ void LwgService::start_switch(LocalGroup& lg, HwgId to_hwg,
             lg.hwg, " to hwg ", to_hwg);
   lg.collect = SwitchCollect{to_hwg, contacts, lg.view.id, MemberSet{}};
   SwitchMsg msg{lg.lwg, lg.view.id, to_hwg, contacts};
-  Encoder body;
+  Encoder& body = scratch_body();
   msg.encode(body);
   send_lwg_msg(lg.hwg, LwgMsgType::kSwitch, body);
 }
@@ -361,7 +361,7 @@ void LwgService::maybe_send_switch_ready(LocalGroup& lg) {
   const HwgId target = lg.switching->to_hwg;
   if (vsync_.view_of(target) == nullptr) return;  // still joining
   SwitchReadyMsg ready{lg.lwg, lg.switching->lwg_view, self()};
-  Encoder body;
+  Encoder& body = scratch_body();
   ready.encode(body);
   send_lwg_msg(target, LwgMsgType::kSwitchReady, body);
 }
@@ -420,7 +420,10 @@ void LwgService::abort_switch(LocalGroup& lg) {
   drain_queued_sends(lg);
 }
 
-void LwgService::handle_data(HwgId gid, ProcessId src, const DataMsg& msg) {
+// Takes the zero-copy view: the payload span aliases the delivered packet
+// buffer, which the network keeps alive for the whole upcall, so DATA
+// reaches the user with no intermediate copy.
+void LwgService::handle_data(HwgId gid, ProcessId src, const DataMsgView& msg) {
   LocalGroup* lg = find_group(msg.lwg);
   if (lg == nullptr || !lg->has_view || lg->hwg != gid) {
     stats_.data_filtered++;  // interference: traffic we only pay to discard

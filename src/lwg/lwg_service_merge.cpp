@@ -41,7 +41,7 @@ void LwgService::trigger_merge_views(HwgId gid) {
   hs.merge_requested_since = vsync_.node().now();
   stats_.merges_triggered++;
   PLWG_DEBUG("lwg", "p", self(), " triggers MERGE-VIEWS on hwg ", gid);
-  Encoder body;
+  Encoder& body = scratch_body();
   MergeViewsMsg{}.encode(body);
   send_lwg_msg(gid, LwgMsgType::kMergeViews, body);
 }
@@ -53,7 +53,7 @@ void LwgService::handle_merge_views(HwgId gid) {
   // Fig. 5 line 109: answer with our mapped views, even if we map none
   // (an empty ALL-VIEWS still tells everyone we took part).
   AllViewsMsg msg{local_views_on(gid)};
-  Encoder body;
+  Encoder& body = scratch_body();
   msg.encode(body);
   send_lwg_msg(gid, LwgMsgType::kAllViews, body);
   // Fig. 5 lines 110-111: the HWG coordinator forces the flush; repeated
@@ -202,7 +202,7 @@ void LwgService::handle_hwg_membership_change(HwgId gid,
     next.members = survivors;
     next.hwg = gid;
     ViewMsg vm{lwg, next, {lg.view.id}};
-    Encoder body;
+    Encoder& body = scratch_body();
     vm.encode(body);
     send_lwg_msg(gid, LwgMsgType::kView, body);
   }

@@ -31,6 +31,10 @@ struct LwgView {
     members.encode(enc);
     enc.put_id(hwg);
   }
+  /// Exact encode() output size, for Encoder::reserve().
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return ViewId::kEncodedSize + members.encoded_size() + 8;
+  }
   static LwgView decode(Decoder& dec) {
     LwgView v;
     v.id = ViewId::decode(dec);
@@ -59,6 +63,10 @@ struct LwgViewInfo {
     view.encode(enc);
     enc.put_u32(static_cast<std::uint32_t>(ancestors.size()));
     for (const ViewId& a : ancestors) a.encode(enc);
+  }
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return 8 + view.encoded_size_hint() + 4 +
+           ViewId::kEncodedSize * ancestors.size();
   }
   static LwgViewInfo decode(Decoder& dec) {
     LwgViewInfo info;

@@ -16,6 +16,14 @@ DataMsg DataMsg::decode(Decoder& dec) {
   return m;
 }
 
+DataMsgView DataMsgView::decode(Decoder& dec) {
+  DataMsgView m;
+  m.lwg = dec.get_id<LwgId>();
+  m.lwg_view = ViewId::decode(dec);
+  m.payload = dec.get_bytes_view();
+  return m;
+}
+
 void JoinMsg::encode(Encoder& enc) const {
   enc.put_id(lwg);
   enc.put_id(joiner);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "lwg/lwg_view.hpp"
@@ -36,6 +37,21 @@ struct DataMsg {
 
   void encode(Encoder& enc) const;
   static DataMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return 8 + ViewId::kEncodedSize + 4 + payload.size();
+  }
+};
+
+/// Zero-copy decode of a DataMsg: `payload` aliases the Decoder's input
+/// buffer and is valid only for the duration of the delivery upcall. The
+/// hot DATA receive path uses this so the user sees the wire bytes with no
+/// intermediate vector copy.
+struct DataMsgView {
+  LwgId lwg;
+  ViewId lwg_view;
+  std::span<const std::uint8_t> payload;
+
+  static DataMsgView decode(Decoder& dec);
 };
 
 struct JoinMsg {
@@ -44,6 +60,9 @@ struct JoinMsg {
 
   void encode(Encoder& enc) const;
   static JoinMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return 12;
+  }
 };
 
 struct LeaveMsg {
@@ -52,6 +71,9 @@ struct LeaveMsg {
 
   void encode(Encoder& enc) const;
   static LeaveMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return 12;
+  }
 };
 
 struct ViewMsg {
@@ -61,6 +83,10 @@ struct ViewMsg {
 
   void encode(Encoder& enc) const;
   static ViewMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return 8 + view.encoded_size_hint() + 4 +
+           ViewId::kEncodedSize * predecessors.size();
+  }
 };
 
 struct SwitchMsg {
@@ -71,6 +97,9 @@ struct SwitchMsg {
 
   void encode(Encoder& enc) const;
   static SwitchMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return 8 + ViewId::kEncodedSize + 8 + contacts.encoded_size();
+  }
 };
 
 struct SwitchReadyMsg {
@@ -80,6 +109,9 @@ struct SwitchReadyMsg {
 
   void encode(Encoder& enc) const;
   static SwitchReadyMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return 8 + ViewId::kEncodedSize + 4;
+  }
 };
 
 struct SwitchedMsg {
@@ -89,6 +121,9 @@ struct SwitchedMsg {
 
   void encode(Encoder& enc) const;
   static SwitchedMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return 16 + contacts.encoded_size();
+  }
 };
 
 struct RedirectMsg {
@@ -99,6 +134,9 @@ struct RedirectMsg {
 
   void encode(Encoder& enc) const;
   static RedirectMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return 20 + contacts.encoded_size();
+  }
 };
 
 struct MergeViewsMsg {
@@ -111,6 +149,11 @@ struct AllViewsMsg {
 
   void encode(Encoder& enc) const;
   static AllViewsMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    std::size_t n = 4;
+    for (const LwgViewInfo& v : views) n += v.encoded_size_hint();
+    return n;
+  }
 };
 
 using AnnounceMsg = AllViewsMsg;  // same payload, discovery semantics

@@ -39,6 +39,10 @@ struct MappingEntry {
 
   void encode(Encoder& enc) const;
   static MappingEntry decode(Decoder& dec);
+  /// Exact encode() output size, for Encoder::reserve().
+  [[nodiscard]] std::size_t encoded_size() const {
+    return 40 + lwg_members.encoded_size() + hwg_members.encoded_size();
+  }
 
   friend bool operator==(const MappingEntry&, const MappingEntry&) = default;
 };
@@ -71,6 +75,11 @@ struct LwgRecord {
 
   void encode(Encoder& enc) const;
   static LwgRecord decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size() const {
+    std::size_t n = 8 + 12 * superseded.size();
+    for (const auto& [view, entry] : entries) n += entry.encoded_size();
+    return n;
+  }
 
  private:
   void gc();
@@ -84,6 +93,11 @@ struct Database {
 
   void encode(Encoder& enc) const;
   static Database decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size() const {
+    std::size_t n = 4;
+    for (const auto& [lwg, rec] : records) n += 8 + rec.encoded_size();
+    return n;
+  }
 
   /// Human-readable dump in the style of the paper's Tables 3/4.
   [[nodiscard]] std::string dump() const;

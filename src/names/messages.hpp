@@ -33,6 +33,10 @@ struct SetReqMsg {
 
   void encode(Encoder& enc) const;
   static SetReqMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return 16 + entry.encoded_size() + 4 +
+           12 * predecessors.size();
+  }
 };
 
 struct ReadReqMsg {
@@ -41,6 +45,9 @@ struct ReadReqMsg {
 
   void encode(Encoder& enc) const;
   static ReadReqMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return 16;
+  }
 };
 
 struct TestSetReqMsg {
@@ -50,6 +57,9 @@ struct TestSetReqMsg {
 
   void encode(Encoder& enc) const;
   static TestSetReqMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return 16 + entry.encoded_size();
+  }
 };
 
 struct AckMsg {
@@ -57,6 +67,7 @@ struct AckMsg {
 
   void encode(Encoder& enc) const { enc.put_u64(req_id); }
   static AckMsg decode(Decoder& dec) { return {dec.get_u64()}; }
+  [[nodiscard]] std::size_t encoded_size_hint() const { return 8; }
 };
 
 struct MappingsMsg {
@@ -66,6 +77,11 @@ struct MappingsMsg {
 
   void encode(Encoder& enc) const;
   static MappingsMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    std::size_t n = 16 + 4;
+    for (const MappingEntry& e : entries) n += e.encoded_size();
+    return n;
+  }
 };
 
 struct MultipleMappingsMsg {
@@ -74,6 +90,11 @@ struct MultipleMappingsMsg {
 
   void encode(Encoder& enc) const;
   static MultipleMappingsMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    std::size_t n = 8 + 4;
+    for (const MappingEntry& e : entries) n += e.encoded_size();
+    return n;
+  }
 };
 
 struct SyncMsg {
@@ -81,6 +102,9 @@ struct SyncMsg {
 
   void encode(Encoder& enc) const { db.encode(enc); }
   static SyncMsg decode(Decoder& dec) { return {Database::decode(dec)}; }
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return db.encoded_size();
+  }
 };
 
 }  // namespace plwg::names

@@ -127,6 +127,7 @@ void NamingAgent::server_on_read(NodeId from, const ReadReqMsg& msg) {
     reply.entries = it->second.alive_entries();
   }
   Encoder body;
+  body.reserve(reply.encoded_size_hint());
   reply.encode(body);
   send_msg(from, NamingMsgType::kMappings, body);
 }
@@ -160,6 +161,7 @@ void NamingAgent::server_broadcast_sync() {
   PLWG_ASSERT(server_);
   if (server_->peers.empty() || server_->db.records.empty()) return;
   Encoder body;
+  body.reserve(server_->db.encoded_size());
   SyncMsg{server_->db}.encode(body);
   for (NodeId peer : server_->peers) {
     stats_.syncs_sent++;
@@ -201,6 +203,7 @@ void NamingAgent::server_send_callback(LwgId lwg, const LwgRecord& rec) {
   msg.lwg = lwg;
   msg.entries = rec.alive_entries();
   Encoder body;
+  body.reserve(msg.encoded_size_hint());
   msg.encode(body);
   const MemberSet targets = rec.all_members();
   PLWG_DEBUG("names", "server ", node_.id(), " MULTIPLE-MAPPINGS for lwg ",
@@ -215,6 +218,7 @@ void NamingAgent::server_send_callback(LwgId lwg, const LwgRecord& rec) {
 
 void NamingAgent::send_msg(NodeId to, NamingMsgType type, const Encoder& body) {
   Encoder packet;
+  packet.reserve(1 + body.size());
   packet.put_u8(static_cast<std::uint8_t>(type));
   packet.put_raw(body.bytes());
   node_.send(transport::Port::kNaming, to, packet);

@@ -169,12 +169,14 @@ void Network::deliver(NodeId from, NodeId to,
   // CPU slot is claimed *at arrival* — claiming it at send time would let a
   // slow (e.g. cross-WAN) packet reserve the CPU into the future and starve
   // packets that arrive earlier.
-  sim_.schedule_at(arrival, [this, from, to, data = std::move(data)] {
+  sim_.schedule_at(arrival, [this, from, to, data = std::move(data)]() mutable {
     NodeState& receiver = nodes_[to.value()];
     const Time start = std::max(sim_.now(), receiver.cpu_free_at);
     const Time done = start + config_.node_process_cost_us;
     receiver.cpu_free_at = done;
-    sim_.schedule_at(done, [this, from, to, data] {
+    // The buffer moves (not ref-bumps) through both hops: one multicast =
+    // one encode = one shared buffer, refcounted once per destination.
+    sim_.schedule_at(done, [this, from, to, data = std::move(data)] {
       NodeState& r = nodes_[to.value()];
       if (r.crashed) return;
       stats_.deliveries++;

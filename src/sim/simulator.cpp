@@ -1,40 +1,78 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/assert.hpp"
 
 namespace plwg::sim {
 
-TimerId Simulator::schedule_at(Time t, std::function<void()> fn) {
-  PLWG_ASSERT_MSG(t >= now_, "scheduling into the past");
-  PLWG_ASSERT(fn != nullptr);
-  const TimerId id = next_id_++;
-  queue_.push(Event{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+std::uint32_t Simulator::acquire_slot_slow() {
+  PLWG_ASSERT_MSG(num_slots_ < kNilSlot, "timer slab exhausted");
+  if (num_slots_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  return num_slots_++;
 }
 
-TimerId Simulator::schedule_after(Duration delay, std::function<void()> fn) {
-  PLWG_ASSERT_MSG(delay >= 0, "negative delay");
-  return schedule_at(now_ + delay, std::move(fn));
+void Simulator::release_slot(std::uint32_t index) {
+  Slot& s = slot(index);
+  s.fn = nullptr;
+  s.live = false;
+  ++s.generation;  // invalidates every outstanding id for this slot
+  s.next_free = free_head_;
+  free_head_ = index;
+  --live_count_;
 }
 
-void Simulator::cancel(TimerId id) { callbacks_.erase(id); }
+void Simulator::cancel(TimerId id) {
+  const auto index = static_cast<std::uint32_t>(id);
+  if (index >= num_slots_ || !id_live(id)) return;
+  release_slot(index);
+  ++dead_in_heap_;  // the heap entry stays until it surfaces or we compact
+  compact_if_mostly_dead();
+}
+
+void Simulator::pop_heap_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+  heap_.pop_back();
+}
+
+void Simulator::compact_if_mostly_dead() {
+  if (heap_.size() < kCompactFloor || dead_in_heap_ * 2 <= heap_.size()) {
+    return;
+  }
+  std::erase_if(heap_, [this](const Event& ev) { return !id_live(ev.id); });
+  // Rebuilding preserves pop order exactly: (time, seq) is a total order
+  // (seq is unique), so the heap's pop sequence is determined by its
+  // contents alone, not by insertion history.
+  std::make_heap(heap_.begin(), heap_.end(), EventAfter{});
+  dead_in_heap_ = 0;
+}
 
 bool Simulator::fire_next() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
-    auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    // Move the callback out before invoking: the callback may schedule or
-    // cancel other events, invalidating iterators.
-    std::function<void()> fn = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = ev.time;
+  while (!heap_.empty()) {
+    const Event ev = heap_.front();
+    pop_heap_top();
+    if (!id_live(ev.id)) {  // cancelled; its slot was already recycled
+      --dead_in_heap_;
+      continue;
+    }
+    const auto index = static_cast<std::uint32_t>(ev.id);
+    // The chunked slab never relocates slots, so the callback runs straight
+    // out of its slot storage (no move-out). Clearing `live` first makes a
+    // self-cancel inside the callback a no-op; the slot only joins the
+    // free list after the callback returns, so events it schedules cannot
+    // reuse this storage mid-call.
+    Slot& s = slot(index);
+    s.live = false;
+    now_ = event_time(ev.key);
     ++events_run_;
-    fn();
+    s.fn.invoke_consume();
+    ++s.generation;
+    s.next_free = free_head_;
+    free_head_ = index;
+    --live_count_;
     return true;
   }
   return false;
@@ -55,13 +93,13 @@ std::size_t Simulator::run_until(Time t, std::size_t max_events) {
   while (n < max_events) {
     // Peek: skip over cancelled entries to find the next live event time.
     bool fired = false;
-    while (!queue_.empty()) {
-      const Event& top = queue_.top();
-      if (!callbacks_.contains(top.id)) {
-        queue_.pop();
+    while (!heap_.empty()) {
+      if (!id_live(heap_.front().id)) {
+        pop_heap_top();
+        --dead_in_heap_;
         continue;
       }
-      if (top.time > t) break;
+      if (event_time(heap_.front().key) > t) break;
       fired = fire_next();
       break;
     }
@@ -72,7 +110,5 @@ std::size_t Simulator::run_until(Time t, std::size_t max_events) {
   now_ = t;
   return n;
 }
-
-std::size_t Simulator::pending_events() const { return callbacks_.size(); }
 
 }  // namespace plwg::sim

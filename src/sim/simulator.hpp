@@ -3,19 +3,30 @@
 // All protocol layers run as callbacks scheduled on this event loop. Events
 // with equal timestamps fire in scheduling order (a monotonic sequence number
 // breaks ties), which makes every experiment bit-for-bit reproducible.
+//
+// Callbacks live in a slab arena indexed by the low half of the TimerId, so
+// schedule/cancel/fire are O(1) array operations with no hashing; the high
+// half carries a per-slot generation counter so a stale id (already fired or
+// cancelled, slot since reused) can never reach the wrong callback. Cancelled
+// entries are deleted lazily from the heap and compacted in bulk once they
+// outnumber the live ones.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "util/assert.hpp"
+#include "util/function.hpp"
 #include "util/types.hpp"
 
 namespace plwg::sim {
 
 /// Identifies a scheduled event so it can be cancelled.
+/// Layout: (slot generation << 32) | slot index. Generations start at 1, so
+/// a zero-initialized TimerId is never valid and cancel(0) is a no-op.
 using TimerId = std::uint64_t;
 
 class Simulator {
@@ -26,11 +37,29 @@ class Simulator {
 
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedule `fn` at absolute simulated time `t` (>= now).
-  TimerId schedule_at(Time t, std::function<void()> fn);
+  /// Schedule `fn` at absolute simulated time `t` (>= now). Accepts any
+  /// void() callable; it is constructed directly into its slab slot (no
+  /// intermediate type-erased move), which is why this is a template.
+  template <class F>
+  TimerId schedule_at(Time t, F&& fn) {
+    PLWG_ASSERT_MSG(t >= now_, "scheduling into the past");
+    const std::uint32_t index = acquire_slot();
+    Slot& s = slot(index);
+    s.fn = std::forward<F>(fn);
+    PLWG_ASSERT(static_cast<bool>(s.fn));
+    s.live = true;
+    ++live_count_;
+    const TimerId id = (static_cast<TimerId>(s.generation) << 32) | index;
+    push_event(t, id);
+    return id;
+  }
 
   /// Schedule `fn` after `delay` microseconds.
-  TimerId schedule_after(Duration delay, std::function<void()> fn);
+  template <class F>
+  TimerId schedule_after(Duration delay, F&& fn) {
+    PLWG_ASSERT_MSG(delay >= 0, "negative delay");
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Cancel a pending event. Cancelling an already-fired or unknown id is a
   /// no-op (protocols routinely cancel timers that may have fired).
@@ -46,34 +75,97 @@ class Simulator {
   /// Returns the number of events run.
   std::size_t run_until(Time t, std::size_t max_events = kDefaultMaxEvents);
 
-  [[nodiscard]] std::size_t pending_events() const;
+  /// Live (scheduled, not yet fired or cancelled) events.
+  [[nodiscard]] std::size_t pending_events() const { return live_count_; }
+  /// Heap entries including lazily-deleted ones — bounded at twice the live
+  /// count (plus a small floor) by compaction; exposed so tests can assert
+  /// that cancellation does not grow the queue without bound.
+  [[nodiscard]] std::size_t queued_events() const { return heap_.size(); }
   [[nodiscard]] std::size_t total_events_run() const { return events_run_; }
 
   /// Guard against accidental infinite event loops in tests/benches.
   static constexpr std::size_t kDefaultMaxEvents = 100'000'000;
 
  private:
+  // (time, seq) packed into one 128-bit key: time is asserted non-negative
+  // (schedule_at requires t >= now_ >= 0), so the unsigned comparison of
+  // (time << 64) | seq orders exactly like the original
+  // time-then-sequence tie-break — but as a single branchless compare in
+  // the heap's hot sift loops.
+  using EventKey = unsigned __int128;
+  static constexpr EventKey event_key(Time t, std::uint64_t seq) {
+    return (static_cast<EventKey>(static_cast<std::uint64_t>(t)) << 64) | seq;
+  }
+  static constexpr Time event_time(EventKey key) {
+    return static_cast<Time>(static_cast<std::uint64_t>(key >> 64));
+  }
   struct Event {
-    Time time;
-    std::uint64_t seq;
+    EventKey key;
     TimerId id;
-    // Ordered for a min-heap via std::greater.
-    friend bool operator>(const Event& a, const Event& b) {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+  };
+  // Struct comparator (not a function pointer) so the heap's sift loops
+  // inline the compare.
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.key > b.key;
     }
   };
 
+  struct Slot {
+    UniqueFunction fn;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNilSlot;
+    bool live = false;
+  };
+  static constexpr std::uint32_t kNilSlot = 0xFFFF'FFFF;
+  // Slots live in fixed-size chunks so growing the arena never moves an
+  // existing slot (a vector would relocate every stored callable on
+  // growth); 256 slots x 64 bytes = one 16 KiB chunk per allocation.
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  // Don't bother compacting tiny heaps.
+  static constexpr std::size_t kCompactFloor = 64;
+
+  [[nodiscard]] Slot& slot(std::uint32_t index) {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const Slot& slot(std::uint32_t index) const {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+  // Defined here (not in the .cpp) so the schedule_at template inlines the
+  // whole schedule path: free-list pop + heap append with no calls.
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNilSlot) {
+      const std::uint32_t index = free_head_;
+      free_head_ = slot(index).next_free;
+      return index;
+    }
+    return acquire_slot_slow();
+  }
+  std::uint32_t acquire_slot_slow();
+  void release_slot(std::uint32_t index);
+  [[nodiscard]] bool id_live(TimerId id) const {
+    const auto index = static_cast<std::uint32_t>(id);
+    const Slot& s = slot(index);
+    return s.live && s.generation == static_cast<std::uint32_t>(id >> 32);
+  }
+  void push_event(Time t, TimerId id) {
+    heap_.push_back(Event{event_key(t, next_seq_++), id});
+    std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+  }
+  void pop_heap_top();
+  void compact_if_mostly_dead();
   bool fire_next();
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  TimerId next_id_ = 1;
   std::size_t events_run_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  // Callbacks live here; cancelled ids are simply erased and skipped when
-  // their queue entry surfaces.
-  std::unordered_map<TimerId, std::function<void()>> callbacks_;
+  std::size_t live_count_ = 0;
+  std::size_t dead_in_heap_ = 0;
+  std::vector<Event> heap_;  // min-heap on Event::key via EventAfter
+  std::vector<std::unique_ptr<Slot[]>> chunks_;  // slab arena
+  std::uint32_t num_slots_ = 0;  // high-water mark of allocated slot indices
+  std::uint32_t free_head_ = kNilSlot;
 };
 
 }  // namespace plwg::sim

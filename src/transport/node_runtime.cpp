@@ -35,18 +35,10 @@ void NodeRuntime::multicast(Port port, std::span<const NodeId> dests,
 
 void NodeRuntime::multicast(Port port, std::span<const ProcessId> dests,
                             const Encoder& payload) {
-  std::vector<NodeId> nodes;
-  nodes.reserve(dests.size());
-  for (ProcessId p : dests) nodes.push_back(node_of(p));
-  net_.multicast(id_, nodes, frame(port, payload));
-}
-
-sim::TimerId NodeRuntime::after(Duration delay, std::function<void()> fn) {
-  return simulator().schedule_after(
-      delay, [this, fn = std::move(fn)] {
-        if (net_.crashed(id_)) return;
-        fn();
-      });
+  dest_scratch_.clear();
+  dest_scratch_.reserve(dests.size());
+  for (ProcessId p : dests) dest_scratch_.push_back(node_of(p));
+  net_.multicast(id_, dest_scratch_, frame(port, payload));
 }
 
 void NodeRuntime::on_packet(NodeId from, std::span<const std::uint8_t> data) {

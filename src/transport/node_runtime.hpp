@@ -7,8 +7,8 @@
 #pragma once
 
 #include <array>
-#include <functional>
 #include <span>
+#include <utility>
 
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -63,8 +63,18 @@ class NodeRuntime : public sim::NetHandler {
                  const Encoder& payload);
 
   /// Schedule a callback on this host after `delay`; no-op if the host has
-  /// crashed by the time it fires.
-  sim::TimerId after(Duration delay, std::function<void()> fn);
+  /// crashed by the time it fires. Templated (rather than taking a
+  /// type-erased callable) so the crash-check wrapper and the user's
+  /// capture land in the simulator slot as ONE flat closure — nesting an
+  /// erased callable inside the wrapper would always spill to the heap.
+  template <class F>
+  sim::TimerId after(Duration delay, F&& fn) {
+    return simulator().schedule_after(
+        delay, [this, fn = std::forward<F>(fn)]() mutable {
+          if (net_.crashed(id_)) return;
+          fn();
+        });
+  }
   void cancel(sim::TimerId timer) { simulator().cancel(timer); }
 
   // sim::NetHandler
@@ -77,6 +87,7 @@ class NodeRuntime : public sim::NetHandler {
   sim::Network& net_;
   NodeId id_;
   std::array<PortHandler*, kPortCount> handlers_{};
+  std::vector<NodeId> dest_scratch_;  // reused by the ProcessId multicast
 };
 
 }  // namespace plwg::transport

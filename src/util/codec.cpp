@@ -12,13 +12,27 @@ void Encoder::put_string(std::string_view s) {
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
-std::vector<std::uint8_t> Decoder::get_bytes() {
+std::span<const std::uint8_t> Decoder::get_bytes_view() {
   const std::uint32_t len = get_u32();
   require(len);
-  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  const std::span<const std::uint8_t> out = data_.subspan(pos_, len);
   pos_ += len;
   return out;
+}
+
+void Decoder::get_u64_span(std::span<std::uint64_t> out) {
+  require(out.size_bytes());
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out.data(), data_.data() + pos_, out.size_bytes());
+    pos_ += out.size_bytes();
+  } else {
+    for (std::uint64_t& v : out) v = get_u64();
+  }
+}
+
+std::vector<std::uint8_t> Decoder::get_bytes() {
+  const auto view = get_bytes_view();
+  return {view.begin(), view.end()};
 }
 
 std::string Decoder::get_string() {
@@ -31,7 +45,9 @@ std::string Decoder::get_string() {
 
 std::uint32_t Decoder::get_count(std::size_t min_element_bytes) {
   const std::uint32_t n = get_u32();
-  if (static_cast<std::uint64_t>(n) * min_element_bytes > remaining()) {
+  // Compare by division so an enormous `min_element_bytes` can't overflow
+  // the check itself; equivalent to n * min > remaining for min != 0.
+  if (min_element_bytes != 0 && n > remaining() / min_element_bytes) {
     throw CodecError("decoder: count " + std::to_string(n) +
                      " exceeds remaining input");
   }

@@ -6,8 +6,13 @@
 // networked deployment would need.
 //
 // Format: fixed-width little-endian integers, length-prefixed byte strings.
+// Fixed-width fields use single bounds-checked memcpys on little-endian
+// hosts (the byte-shift fallback keeps big-endian hosts correct), and the
+// Encoder supports capacity pre-reservation plus clear-and-reuse so hot
+// send paths serialize into one recycled buffer.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -17,6 +22,10 @@
 #include <vector>
 
 #include "util/types.hpp"
+
+// Feature-test macro for the memcpy fast paths + size-hint API; benches use
+// it so one source file measures both the pre- and post-overhaul codec.
+#define PLWG_CODEC_FAST 1
 
 namespace plwg {
 
@@ -54,6 +63,28 @@ class Encoder {
     buf_.insert(buf_.end(), bytes.begin(), bytes.end());
   }
 
+  /// Bulk little-endian u64 append (no count prefix — callers write their
+  /// own): one memcpy instead of a per-element encode loop, for the
+  /// seq-list messages (ACK have-lists, NACK missing-lists) whose bodies
+  /// are mostly such arrays.
+  void put_u64_span(std::span<const std::uint64_t> vs) {
+    if constexpr (std::endian::native == std::endian::little) {
+      const std::size_t off = buf_.size();
+      buf_.resize(off + vs.size_bytes());
+      std::memcpy(buf_.data() + off, vs.data(), vs.size_bytes());
+    } else {
+      for (std::uint64_t v : vs) put_u64(v);
+    }
+  }
+
+  /// Pre-size the buffer (pair with the messages' encoded_size_hint()) so a
+  /// whole message serializes without intermediate reallocation.
+  void reserve(std::size_t n) { buf_.reserve(n); }
+  /// Reusable-buffer mode: drop the contents but keep the capacity, so a
+  /// long-lived scratch Encoder serializes every message allocation-free
+  /// once it has grown to the working-set message size.
+  void clear() { buf_.clear(); }
+
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
@@ -61,8 +92,14 @@ class Encoder {
  private:
   template <class T>
   void put_le(T v) {
-    for (std::size_t i = 0; i < sizeof(T); ++i) {
-      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    if constexpr (std::endian::native == std::endian::little) {
+      const std::size_t off = buf_.size();
+      buf_.resize(off + sizeof(T));
+      std::memcpy(buf_.data() + off, &v, sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      }
     }
   }
 
@@ -93,11 +130,23 @@ class Decoder {
   }
 
   [[nodiscard]] std::vector<std::uint8_t> get_bytes();
+  /// Bulk little-endian u64 read into `out` (counterpart of
+  /// Encoder::put_u64_span; the caller has already read and validated the
+  /// element count). Throws CodecError if fewer than `out.size()` elements
+  /// remain.
+  void get_u64_span(std::span<std::uint64_t> out);
+  /// Zero-copy variant of get_bytes(): the returned span aliases the input
+  /// buffer, valid only as long as the buffer the Decoder was built over.
+  /// Payload passthrough paths (e.g. LWG DATA) use this to hand the user
+  /// the bytes without an intermediate copy.
+  [[nodiscard]] std::span<const std::uint8_t> get_bytes_view();
   [[nodiscard]] std::string get_string();
 
   /// Reads a u32 element count and validates it against the remaining
   /// input (each element needs at least `min_element_bytes`), so malformed
-  /// counts throw instead of driving huge allocations.
+  /// counts throw instead of driving huge allocations. A zero
+  /// `min_element_bytes` skips validation (for genuinely zero-size
+  /// elements); callers then bound the loop themselves.
   [[nodiscard]] std::uint32_t get_count(std::size_t min_element_bytes = 1);
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
@@ -111,9 +160,14 @@ class Decoder {
   template <class T>
   T get_le() {
     require(sizeof(T));
-    T v = 0;
-    for (std::size_t i = 0; i < sizeof(T); ++i) {
-      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    T v;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    } else {
+      v = 0;
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+      }
     }
     pos_ += sizeof(T);
     return v;

@@ -1,0 +1,175 @@
+// Move-only `void()` callable with a large small-buffer optimization.
+//
+// The event loop schedules millions of closures per experiment, and the
+// typical protocol closure captures `this`, a shared packet buffer, and a
+// couple of ids — 24–40 bytes, past the 16-byte inline buffer mainstream
+// std::function ABIs offer, so every schedule would heap-allocate. This
+// type keeps a 48-byte inline buffer (and is move-only, so captured
+// shared_ptrs move instead of ref-bumping) to make scheduling
+// allocation-free for all hot-path closures.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace plwg {
+
+class UniqueFunction {
+  // Sized for the simulator's delivery closures; measured, not guessed —
+  // see docs/TUNING.md "Hot paths & allocation discipline".
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+ public:
+  UniqueFunction() = default;
+  UniqueFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, UniqueFunction> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) {
+      vtable_->relocate(other.storage_, storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) {
+        vtable_->relocate(other.storage_, storage_);
+        other.vtable_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  UniqueFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  /// Converting assignment constructs the callable in place, so hot paths
+  /// that store into a long-lived slot (e.g. the simulator slab) skip the
+  /// extra relocate a construct-then-move-assign would cost.
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, UniqueFunction> &&
+                                     !std::is_same_v<D, std::nullptr_t> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  UniqueFunction& operator=(F&& f) {
+    reset();
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      vtable_ = &kHeapVTable<D>;
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+  /// Invoke, then destroy the target in place, leaving this empty — one
+  /// indirect call instead of move-out + invoke + destroy. The caller must
+  /// guarantee the storage stays valid for the duration of the call (the
+  /// simulator's slab slots are stable and not reused mid-callback).
+  void invoke_consume() {
+    const VTable* vt = vtable_;
+    vtable_ = nullptr;
+    vt->consume(storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return vtable_ != nullptr; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    // Move-construct into `dst` and destroy `src` (both raw buffers).
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    // Invoke then destroy in place (destroys even if the call throws).
+    void (*consume)(void* storage);
+  };
+
+  template <class F>
+  static constexpr bool kFitsInline =
+      sizeof(F) <= kInlineSize && alignof(F) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <class F>
+  static F* inline_ptr(void* storage) {
+    return std::launder(static_cast<F*>(storage));
+  }
+
+  template <class F>
+  static F* heap_ptr(void* storage) {
+    F* p;
+    std::memcpy(&p, storage, sizeof(p));
+    return p;
+  }
+
+  template <class F>
+  static constexpr VTable kInlineVTable = {
+      [](void* s) { (*inline_ptr<F>(s))(); },
+      [](void* src, void* dst) noexcept {
+        F* f = inline_ptr<F>(src);
+        ::new (dst) F(std::move(*f));
+        f->~F();
+      },
+      [](void* s) noexcept { inline_ptr<F>(s)->~F(); },
+      [](void* s) {
+        F* f = inline_ptr<F>(s);
+        struct Guard {
+          F* f;
+          ~Guard() { f->~F(); }
+        } guard{f};
+        (*f)();
+      },
+  };
+
+  template <class F>
+  static constexpr VTable kHeapVTable = {
+      [](void* s) { (*heap_ptr<F>(s))(); },
+      [](void* src, void* dst) noexcept {
+        std::memcpy(dst, src, sizeof(F*));
+      },
+      [](void* s) noexcept { delete heap_ptr<F>(s); },
+      [](void* s) { std::unique_ptr<F>{heap_ptr<F>(s)}->operator()(); },
+  };
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace plwg

@@ -53,6 +53,10 @@ class MemberSet {
 
   void encode(Encoder& enc) const;
   static MemberSet decode(Decoder& dec);
+  /// Exact encode() output size, for Encoder::reserve().
+  [[nodiscard]] std::size_t encoded_size() const {
+    return 4 + 4 * members_.size();
+  }
 
   friend bool operator==(const MemberSet&, const MemberSet&) = default;
 

@@ -76,7 +76,7 @@ void GroupEndpoint::leave() {
     pending_leavers_.insert(self());
     schedule_view_change();
   } else {
-    Encoder body;
+    Encoder& body = scratch_body();
     LeaveReqMsg{self()}.encode(body);
     unicast(acting_coordinator(), MsgType::kLeaveReq, body);
   }
@@ -131,7 +131,7 @@ void GroupEndpoint::install_view(const View& view) {
                           std::move(req.payload), req.first_unacked);
     } else {
       req.view = view_.id;
-      Encoder body;
+      Encoder& body = scratch_body();
       req.encode(body);
       unicast(view_.coordinator(), MsgType::kSendReq, body);
     }
@@ -220,7 +220,7 @@ void GroupEndpoint::on_tick() {
     last_heartbeat_sent_ = t;
     const std::uint64_t high_water =
         view_.coordinator() == self() ? next_order_seq_ - 1 : 0;
-    Encoder body;
+    Encoder& body = scratch_body();
     HeartbeatMsg{view_.id, self(), high_water}.encode(body);
     MemberSet others = view_.members;
     others.erase(self());
@@ -233,7 +233,7 @@ void GroupEndpoint::on_tick() {
   if (leave_requested_ && !is_acting_coordinator() &&
       (last_leave_req_ < 0 || t - last_leave_req_ >= cfg.join_retry_us)) {
     last_leave_req_ = t;
-    Encoder body;
+    Encoder& body = scratch_body();
     LeaveReqMsg{self()}.encode(body);
     unicast(acting_coordinator(), MsgType::kLeaveReq, body);
   }

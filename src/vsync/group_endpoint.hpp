@@ -128,6 +128,14 @@ class GroupEndpoint {
   }
   void unicast(ProcessId to, MsgType type, const Encoder& body);
   void multicast(const MemberSet& to, MsgType type, const Encoder& body);
+  /// Cleared-and-reused Encoder for message bodies: every send site
+  /// serializes into this one buffer, so the steady state allocates
+  /// nothing. Sends never nest (encode -> unicast/multicast completes
+  /// before the next body is built), which makes the single buffer safe.
+  Encoder& scratch_body() {
+    body_scratch_.clear();
+    return body_scratch_;
+  }
   [[nodiscard]] Time now() const;
   [[nodiscard]] const VsyncConfig& config() const;
 
@@ -193,6 +201,7 @@ class GroupEndpoint {
 
   // ---------------------------------------------------------------------
   VsyncHost& host_;
+  Encoder body_scratch_;
   const HwgId gid_;
   GroupUser& user_;
   State state_ = State::kJoining;

@@ -26,7 +26,7 @@ void GroupEndpoint::submit_send(std::vector<std::uint8_t> payload) {
     order_and_multicast(self(), smid, std::move(payload), smid);
     return;
   }
-  Encoder body;
+  Encoder& body = scratch_body();
   SendReqMsg{view_.id, self(), smid, unacked_sends_.begin()->first,
              std::move(payload)}
       .encode(body);
@@ -49,7 +49,7 @@ void GroupEndpoint::resend_unacked(bool force) {
                           std::vector<std::uint8_t>(send.payload),
                           unacked_sends_.begin()->first);
     } else {
-      Encoder body;
+      Encoder& body = scratch_body();
       SendReqMsg{view_.id, self(), smid, unacked_sends_.begin()->first,
                  std::vector<std::uint8_t>(send.payload)}
           .encode(body);
@@ -79,7 +79,8 @@ void GroupEndpoint::order_and_multicast(ProcessId origin,
   wire.msg.origin = origin;
   wire.msg.sender_msg_id = sender_msg_id;
   wire.msg.payload = std::move(payload);
-  Encoder body;
+  Encoder& body = scratch_body();
+  body.reserve(wire.encoded_size_hint());
   wire.encode(body);
   // Multicast includes self: the sequencer's own copy arrives through the
   // loopback path so delivery is uniform at every member.
@@ -163,7 +164,7 @@ void GroupEndpoint::check_nacks() {
   }
   if (missing.empty()) return;
   stats_.nacks_sent++;
-  Encoder body;
+  Encoder& body = scratch_body();
   NackMsg{view_.id, std::move(missing)}.encode(body);
   unicast(view_.coordinator(), MsgType::kNack, body);
 }
@@ -175,7 +176,7 @@ void GroupEndpoint::on_nack(ProcessId from, const NackMsg& msg) {
     auto it = msg_log_.find(seq);
     if (it == msg_log_.end()) continue;
     OrderedMsgWire wire{view_.id, it->second};
-    Encoder body;
+    Encoder& body = scratch_body();
     wire.encode(body);
     unicast(from, MsgType::kOrdered, body);
   }

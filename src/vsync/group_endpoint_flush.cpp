@@ -17,7 +17,7 @@ namespace plwg::vsync {
 
 void GroupEndpoint::send_join_req() {
   last_join_req_ = now();
-  Encoder body;
+  Encoder& body = scratch_body();
   JoinReqMsg{self()}.encode(body);
   multicast(join_contacts_, MsgType::kJoinReq, body);
 }
@@ -27,13 +27,13 @@ void GroupEndpoint::on_join_req(const JoinReqMsg& msg) {
   if (view_.members.contains(msg.joiner)) {
     // The joiner is already in the view but evidently missed the NEW_VIEW:
     // re-send it.
-    Encoder body;
+    Encoder& body = scratch_body();
     NewViewMsg{view_, MemberSet{}}.encode(body);
     unicast(msg.joiner, MsgType::kNewView, body);
     return;
   }
   if (!is_acting_coordinator()) {
-    Encoder body;
+    Encoder& body = scratch_body();
     msg.encode(body);
     unicast(acting_coordinator(), MsgType::kJoinReq, body);
     return;
@@ -47,7 +47,7 @@ void GroupEndpoint::on_join_req(const JoinReqMsg& msg) {
 void GroupEndpoint::on_leave_req(const LeaveReqMsg& msg) {
   if (!has_view_ || !view_.members.contains(msg.leaver)) return;
   if (!is_acting_coordinator()) {
-    Encoder body;
+    Encoder& body = scratch_body();
     msg.encode(body);
     unicast(acting_coordinator(), MsgType::kLeaveReq, body);
     return;
@@ -96,7 +96,7 @@ void GroupEndpoint::initiate_view_change(bool for_merge) {
   PLWG_DEBUG("vsync", "p", self(), " g", gid_, " flush ", view_.id,
              " epoch=", flush_op_->epoch, " proposal=", proposal);
 
-  Encoder body;
+  Encoder& body = scratch_body();
   FlushReqMsg{view_.id, flush_op_->epoch, self(), proposal}.encode(body);
   multicast(flush_op_->targets, MsgType::kFlushReq, body);
 }
@@ -109,7 +109,7 @@ void GroupEndpoint::on_flush_req(ProcessId from, const FlushReqMsg& msg) {
   if (msg.initiator != self()) {
     if (suspected_.contains(msg.initiator) ||
         msg.initiator != acting_coordinator()) {
-      Encoder body;
+      Encoder& body = scratch_body();
       FlushRejectMsg{msg.old_view, msg.epoch, self(), suspected_}.encode(body);
       unicast(msg.initiator, MsgType::kFlushReject, body);
       return;
@@ -120,7 +120,7 @@ void GroupEndpoint::on_flush_req(ProcessId from, const FlushReqMsg& msg) {
     if (msg.initiator > part_flush_->initiator &&
         !suspected_.contains(part_flush_->initiator)) {
       // A larger-pid pretender lost the race; tell it who we believe in.
-      Encoder body;
+      Encoder& body = scratch_body();
       FlushRejectMsg{msg.old_view, msg.epoch, self(), suspected_}.encode(body);
       unicast(msg.initiator, MsgType::kFlushReject, body);
       return;
@@ -164,7 +164,7 @@ void GroupEndpoint::maybe_send_flush_ack() {
   std::vector<std::uint64_t> have;
   have.reserve(msg_log_.size());
   for (const auto& [seq, msg] : msg_log_) have.push_back(seq);
-  Encoder body;
+  Encoder& body = scratch_body();
   FlushAckMsg{part_flush_->old_view, part_flush_->epoch, self(),
               std::move(have)}
       .encode(body);
@@ -213,7 +213,7 @@ void GroupEndpoint::flush_acks_maybe_complete() {
     }
   }
   for (auto& [holder, seqs] : per_holder) {
-    Encoder body;
+    Encoder& body = scratch_body();
     FetchMsg{flush_op_->old_view, flush_op_->epoch, std::move(seqs)}.encode(
         body);
     unicast(holder, MsgType::kFetch, body);
@@ -229,7 +229,7 @@ void GroupEndpoint::on_fetch(ProcessId from, const FetchMsg& msg) {
     auto it = msg_log_.find(s);
     if (it != msg_log_.end()) reply.msgs.push_back(it->second);
   }
-  Encoder body;
+  Encoder& body = scratch_body();
   reply.encode(body);
   unicast(from, MsgType::kFetchReply, body);
 }
@@ -269,7 +269,7 @@ void GroupEndpoint::send_flush_cut() {
   }
   flush_op_->cut_sent = true;
   flush_op_->started_at = now();  // restart the phase timer for DONE waits
-  Encoder body;
+  Encoder& body = scratch_body();
   cut.encode(body);
   multicast(flush_op_->targets, MsgType::kFlushCut, body);
 }
@@ -286,7 +286,7 @@ void GroupEndpoint::on_flush_cut(const FlushCutMsg& msg) {
   if (defunct()) return;
   part_flush_->done_sent = true;
   set_state(State::kStopped);
-  Encoder body;
+  Encoder& body = scratch_body();
   FlushDoneMsg{msg.old_view, msg.epoch, self()}.encode(body);
   unicast(part_flush_->initiator, MsgType::kFlushDone, body);
 }
@@ -336,7 +336,8 @@ void GroupEndpoint::install_and_announce(const MemberSet& members,
   v.members = members;
   v.predecessors = std::move(predecessors);
   NewViewMsg msg{v, departed};
-  Encoder body;
+  Encoder& body = scratch_body();
+  body.reserve(msg.encoded_size_hint());
   msg.encode(body);
   // Recipients: new members (including joiners), flush survivors (so leavers
   // learn the outcome), all via one multicast. Our own copy arrives by
@@ -398,7 +399,7 @@ void GroupEndpoint::flush_phase_timeout() {
     // First stall: benign loss — re-send the current phase message.
     flush_op_->retries++;
     if (!flush_op_->cut_sent) {
-      Encoder body;
+      Encoder& body = scratch_body();
       FlushReqMsg{flush_op_->old_view, flush_op_->epoch, self(),
                   flush_op_->proposal}
           .encode(body);

@@ -20,7 +20,7 @@ void GroupEndpoint::send_merge_probe() {
   const MemberSet targets =
       known_peers_.set_difference(view_.members).set_difference(departed_);
   if (targets.empty()) return;
-  Encoder body;
+  Encoder& body = scratch_body();
   MergeProbeMsg{view_.id, self(), view_.members}.encode(body);
   multicast(targets, MsgType::kMergeProbe, body);
 }
@@ -31,7 +31,7 @@ void GroupEndpoint::on_merge_probe(const MergeProbeMsg& msg) {
   known_peers_ = known_peers_.set_union(msg.members);
   known_peers_.insert(msg.sender);
   if (!is_acting_coordinator()) {
-    Encoder body;
+    Encoder& body = scratch_body();
     msg.encode(body);
     unicast(acting_coordinator(), MsgType::kMergeProbe, body);
     return;
@@ -43,7 +43,7 @@ void GroupEndpoint::on_merge_probe(const MergeProbeMsg& msg) {
   if (self() < msg.sender) {
     begin_merge_as_leader(msg);
   } else {
-    Encoder body;
+    Encoder& body = scratch_body();
     MergeReplyMsg{view_.id, self(), view_.members}.encode(body);
     unicast(msg.sender, MsgType::kMergeReply, body);
   }
@@ -74,7 +74,7 @@ void GroupEndpoint::begin_merge_as_leader(const MergeProbeMsg& other) {
   PLWG_DEBUG("vsync", "p", self(), " g", gid_, " leads merge of ", view_.id,
              " + ", other.view);
 
-  Encoder body;
+  Encoder& body = scratch_body();
   MergeStartMsg{merge_leader_->epoch, self(), {view_.id, other.view}}.encode(
       body);
   unicast(other.sender, MsgType::kMergeStart, body);
@@ -101,7 +101,7 @@ void GroupEndpoint::merge_self_flush_complete(MemberSet survivors) {
     return;
   }
   if (merge_follow_) {
-    Encoder body;
+    Encoder& body = scratch_body();
     MergeFlushedMsg{merge_follow_->epoch, view_.id, self(), survivors}.encode(
         body);
     unicast(merge_follow_->leader, MsgType::kMergeFlushed, body);
@@ -151,7 +151,7 @@ void GroupEndpoint::merge_timeout() {
   PLWG_DEBUG("vsync", "p", self(), " g", gid_, " merge timed out");
   for (const MergeParty& party : merge_leader_->parties) {
     if (party.flushed) continue;
-    Encoder body;
+    Encoder& body = scratch_body();
     MergeAbortMsg{merge_leader_->epoch}.encode(body);
     unicast(party.coordinator, MsgType::kMergeAbort, body);
   }

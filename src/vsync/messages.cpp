@@ -6,14 +6,13 @@ namespace {
 
 void encode_seqs(Encoder& enc, const std::vector<std::uint64_t>& seqs) {
   enc.put_u32(static_cast<std::uint32_t>(seqs.size()));
-  for (std::uint64_t s : seqs) enc.put_u64(s);
+  enc.put_u64_span(seqs);
 }
 
 std::vector<std::uint64_t> decode_seqs(Decoder& dec) {
   const std::uint32_t n = dec.get_count(sizeof(std::uint64_t));
-  std::vector<std::uint64_t> seqs;
-  seqs.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) seqs.push_back(dec.get_u64());
+  std::vector<std::uint64_t> seqs(n);
+  dec.get_u64_span(seqs);
   return seqs;
 }
 

@@ -48,6 +48,10 @@ struct OrderedMsg {
 
   void encode(Encoder& enc) const;
   static OrderedMsg decode(Decoder& dec);
+  /// Exact encode() output size, for Encoder::reserve().
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return 24 + payload.size();
+  }
 };
 
 struct JoinReqMsg {
@@ -79,6 +83,9 @@ struct SendReqMsg {
 
   void encode(Encoder& enc) const;
   static SendReqMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return ViewId::kEncodedSize + 24 + payload.size();
+  }
 };
 
 struct OrderedMsgWire {
@@ -87,6 +94,9 @@ struct OrderedMsgWire {
 
   void encode(Encoder& enc) const;
   static OrderedMsgWire decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return ViewId::kEncodedSize + msg.encoded_size_hint();
+  }
 };
 
 struct NackMsg {
@@ -95,6 +105,9 @@ struct NackMsg {
 
   void encode(Encoder& enc) const;
   static NackMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return ViewId::kEncodedSize + 4 + 8 * missing.size();
+  }
 };
 
 struct HeartbeatMsg {
@@ -107,6 +120,9 @@ struct HeartbeatMsg {
 
   void encode(Encoder& enc) const;
   static HeartbeatMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return ViewId::kEncodedSize + 12;
+  }
 };
 
 struct FlushReqMsg {
@@ -117,6 +133,9 @@ struct FlushReqMsg {
 
   void encode(Encoder& enc) const;
   static FlushReqMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return ViewId::kEncodedSize + 8 + proposal.encoded_size();
+  }
 };
 
 struct FlushAckMsg {
@@ -127,6 +146,9 @@ struct FlushAckMsg {
 
   void encode(Encoder& enc) const;
   static FlushAckMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return ViewId::kEncodedSize + 12 + 8 * have.size();
+  }
 };
 
 struct FlushRejectMsg {
@@ -137,6 +159,9 @@ struct FlushRejectMsg {
 
   void encode(Encoder& enc) const;
   static FlushRejectMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return ViewId::kEncodedSize + 8 + suspected.encoded_size();
+  }
 };
 
 struct FetchMsg {
@@ -146,6 +171,9 @@ struct FetchMsg {
 
   void encode(Encoder& enc) const;
   static FetchMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return ViewId::kEncodedSize + 8 + 8 * seqs.size();
+  }
 };
 
 struct FetchReplyMsg {
@@ -155,6 +183,11 @@ struct FetchReplyMsg {
 
   void encode(Encoder& enc) const;
   static FetchReplyMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    std::size_t n = ViewId::kEncodedSize + 8;
+    for (const OrderedMsg& m : msgs) n += m.encoded_size_hint();
+    return n;
+  }
 };
 
 struct FlushCutMsg {
@@ -165,6 +198,11 @@ struct FlushCutMsg {
 
   void encode(Encoder& enc) const;
   static FlushCutMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    std::size_t n = ViewId::kEncodedSize + 12 + 8 * cut.size();
+    for (const OrderedMsg& m : retrans) n += m.encoded_size_hint();
+    return n;
+  }
 };
 
 struct FlushDoneMsg {
@@ -174,6 +212,9 @@ struct FlushDoneMsg {
 
   void encode(Encoder& enc) const;
   static FlushDoneMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return ViewId::kEncodedSize + 8;
+  }
 };
 
 struct NewViewMsg {
@@ -185,6 +226,9 @@ struct NewViewMsg {
   void encode(Encoder& enc) const {
     view.encode(enc);
     departed.encode(enc);
+  }
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return view.encoded_size() + departed.encoded_size();
   }
   static NewViewMsg decode(Decoder& dec) {
     NewViewMsg m;
@@ -201,6 +245,9 @@ struct MergeProbeMsg {
 
   void encode(Encoder& enc) const;
   static MergeProbeMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return ViewId::kEncodedSize + 4 + members.encoded_size();
+  }
 };
 
 using MergeReplyMsg = MergeProbeMsg;  // identical shape, opposite direction
@@ -212,6 +259,9 @@ struct MergeStartMsg {
 
   void encode(Encoder& enc) const;
   static MergeStartMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return 12 + ViewId::kEncodedSize * parties.size();
+  }
 };
 
 struct MergeFlushedMsg {
@@ -222,6 +272,9 @@ struct MergeFlushedMsg {
 
   void encode(Encoder& enc) const;
   static MergeFlushedMsg decode(Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size_hint() const {
+    return 8 + ViewId::kEncodedSize + members.encoded_size();
+  }
 };
 
 struct MergeAbortMsg {

@@ -47,6 +47,9 @@ struct ViewId {
     return id;
   }
 
+  /// Exact encode() output size (fixed-width), for Encoder::reserve().
+  static constexpr std::size_t kEncodedSize = 12;
+
   [[nodiscard]] std::string to_string() const;
 };
 
@@ -66,6 +69,11 @@ struct View {
 
   void encode(Encoder& enc) const;
   static View decode(Decoder& dec);
+  /// Exact encode() output size, for Encoder::reserve().
+  [[nodiscard]] std::size_t encoded_size() const {
+    return ViewId::kEncodedSize + members.encoded_size() + 4 +
+           ViewId::kEncodedSize * predecessors.size();
+  }
 
   friend bool operator==(const View&, const View&) = default;
 };

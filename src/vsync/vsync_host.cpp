@@ -116,12 +116,13 @@ std::vector<HwgId> VsyncHost::groups() const {
   return out;
 }
 
-Encoder VsyncHost::frame(HwgId gid, MsgType type, const Encoder& body) const {
-  Encoder packet;
-  packet.put_id(gid);
-  packet.put_u8(static_cast<std::uint8_t>(type));
-  packet.put_raw(body.bytes());
-  return packet;
+const Encoder& VsyncHost::frame(HwgId gid, MsgType type, const Encoder& body) {
+  frame_scratch_.clear();
+  frame_scratch_.reserve(9 + body.size());  // u64 gid + u8 type + body
+  frame_scratch_.put_id(gid);
+  frame_scratch_.put_u8(static_cast<std::uint8_t>(type));
+  frame_scratch_.put_raw(body.bytes());
+  return frame_scratch_;
 }
 
 void VsyncHost::send_group_msg(HwgId gid, ProcessId to, MsgType type,

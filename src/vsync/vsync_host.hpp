@@ -68,14 +68,18 @@ class VsyncHost : public transport::PortHandler {
  private:
   void tick();
   void sweep_defunct();
-  [[nodiscard]] Encoder frame(HwgId gid, MsgType type,
-                              const Encoder& body) const;
+  [[nodiscard]] const Encoder& frame(HwgId gid, MsgType type,
+                                     const Encoder& body);
 
   transport::NodeRuntime& node_;
   VsyncConfig config_;
   std::unordered_map<HwgId, std::unique_ptr<GroupEndpoint>> endpoints_;
   std::uint32_t next_group_counter_ = 1;
   bool dispatching_ = false;
+  // Reused for every outbound frame; safe because the transport copies the
+  // frame into the packet before returning and nothing sends re-entrantly
+  // while a frame is being built.
+  Encoder frame_scratch_;
 };
 
 }  // namespace plwg::vsync

@@ -3,6 +3,8 @@
 // and every message round-trips exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "lwg/messages.hpp"
 #include "names/messages.hpp"
 #include "util/rng.hpp"
@@ -44,6 +46,7 @@ TEST(CodecFuzz, VsyncMessagesSurviveGarbage) {
 
 TEST(CodecFuzz, LwgMessagesSurviveGarbage) {
   fuzz_decode<lwg::DataMsg>(21);
+  fuzz_decode<lwg::DataMsgView>(29);  // zero-copy variant of DataMsg
   fuzz_decode<lwg::JoinMsg>(22);
   fuzz_decode<lwg::ViewMsg>(23);
   fuzz_decode<lwg::SwitchMsg>(24);
@@ -51,6 +54,66 @@ TEST(CodecFuzz, LwgMessagesSurviveGarbage) {
   fuzz_decode<lwg::SwitchedMsg>(26);
   fuzz_decode<lwg::RedirectMsg>(27);
   fuzz_decode<lwg::AllViewsMsg>(28);
+}
+
+// The memcpy fast paths and the zero-copy view must agree byte-for-byte
+// with a reference per-byte decode on arbitrary well-formed-prefix input.
+TEST(CodecFuzz, FixedWidthFastPathMatchesByteAssembly) {
+  Rng rng(41);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> bytes(16);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+    Decoder fast(bytes);
+    const std::uint16_t v16 = fast.get_u16();
+    const std::uint32_t v32 = fast.get_u32();
+    const std::uint64_t v64 = fast.get_u64();
+    // Reference little-endian assembly, independent of the codec.
+    auto ref = [&bytes](std::size_t off, std::size_t n) {
+      std::uint64_t v = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        v |= static_cast<std::uint64_t>(bytes[off + k]) << (8 * k);
+      }
+      return v;
+    };
+    EXPECT_EQ(v16, ref(0, 2));
+    EXPECT_EQ(v32, ref(2, 4));
+    EXPECT_EQ(v64, ref(6, 8));
+  }
+}
+
+// DataMsgView must see exactly the bytes DataMsg would copy, for random
+// payloads, and the view must alias the wire buffer rather than copy.
+TEST(CodecFuzz, DataMsgViewMatchesOwningDecode) {
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    lwg::DataMsg msg;
+    msg.lwg = LwgId{rng.next_below(1000)};
+    msg.lwg_view =
+        vsync::ViewId{ProcessId{static_cast<std::uint32_t>(rng.next_below(64))},
+                      static_cast<std::uint32_t>(rng.next_below(1 << 20))};
+    msg.payload.resize(rng.next_below(300));
+    for (auto& b : msg.payload) {
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    Encoder enc;
+    msg.encode(enc);
+
+    Decoder owning_dec(enc.bytes());
+    const lwg::DataMsg owned = lwg::DataMsg::decode(owning_dec);
+    Decoder view_dec(enc.bytes());
+    const lwg::DataMsgView view = lwg::DataMsgView::decode(view_dec);
+
+    EXPECT_EQ(view.lwg, owned.lwg);
+    EXPECT_EQ(view.lwg_view, owned.lwg_view);
+    ASSERT_EQ(view.payload.size(), owned.payload.size());
+    EXPECT_TRUE(std::equal(view.payload.begin(), view.payload.end(),
+                           owned.payload.begin()));
+    if (!view.payload.empty()) {
+      // Aliasing check: the span points into the encoder's buffer.
+      EXPECT_GE(view.payload.data(), enc.bytes().data());
+      EXPECT_LT(view.payload.data(), enc.bytes().data() + enc.size());
+    }
+  }
 }
 
 TEST(CodecFuzz, NamesMessagesSurviveGarbage) {

@@ -89,7 +89,9 @@ TEST_F(LwgStressTest, NsTracksHwgViewAfterMembershipChange) {
       [&] {
         const auto& rec = world().server(0).database().records.at(id);
         if (rec.entries.size() != 1) return false;
-        const names::MappingEntry& e = rec.alive_entries()[0];
+        // Copy: alive_entries() returns by value, so a reference into the
+        // temporary vector would dangle past this statement.
+        const names::MappingEntry e = rec.alive_entries()[0];
         return e.hwg_members.size() == 4 && e.stamp > before.stamp &&
                !(e.hwg_view == before.hwg_view);
       },

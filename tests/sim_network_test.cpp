@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 namespace plwg::sim {
@@ -172,6 +173,43 @@ TEST_F(NetFixture, SeparatePartitionsHaveSeparateBuses) {
   ASSERT_EQ(handlers[1]->packets.size(), 1u);
   ASSERT_EQ(handlers[3]->packets.size(), 1u);
   EXPECT_EQ(handlers[1]->packets[0].at, handlers[3]->packets[0].at);
+}
+
+// The zero-copy fan-out invariant: a multicast is ONE transmission — the
+// payload is encoded and charged once, no matter how many destinations
+// share the buffer.
+TEST_F(NetFixture, MulticastChargesPayloadBytesOncePerTransmission) {
+  build(5);
+  const std::vector<std::uint8_t> payload(200, 0xAA);
+  net->multicast(nodes[0], std::array{nodes[1], nodes[2], nodes[3], nodes[4]},
+                 payload);
+  sim.run();
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_EQ(handlers[i]->packets.size(), 1u) << "node " << i;
+  }
+  const NetworkStats& st = net->stats();
+  EXPECT_EQ(st.packets_sent, 1u);
+  EXPECT_EQ(st.bytes_sent, payload.size());  // once, not 4x
+  EXPECT_EQ(st.deliveries, 4u);
+}
+
+// The same invariant must hold when destinations straddle partition
+// classes: the sender's transmission is charged once even though only the
+// destinations sharing its partition receive it.
+TEST_F(NetFixture, MulticastAcrossPartitionClassesStillChargesOnce) {
+  build(4);
+  net->set_partitions({{nodes[0], nodes[1]}, {nodes[2], nodes[3]}});
+  const std::vector<std::uint8_t> payload(128, 0x5C);
+  const auto base = net->stats();
+  net->multicast(nodes[0], std::array{nodes[1], nodes[2], nodes[3]}, payload);
+  sim.run();
+  EXPECT_EQ(handlers[1]->packets.size(), 1u);
+  EXPECT_TRUE(handlers[2]->packets.empty());
+  EXPECT_TRUE(handlers[3]->packets.empty());
+  const NetworkStats& st = net->stats();
+  EXPECT_EQ(st.packets_sent - base.packets_sent, 1u);
+  EXPECT_EQ(st.bytes_sent - base.bytes_sent, payload.size());
+  EXPECT_EQ(st.deliveries - base.deliveries, 1u);
 }
 
 }  // namespace

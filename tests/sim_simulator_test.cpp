@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 namespace plwg::sim {
@@ -98,6 +100,51 @@ TEST(Simulator, TracksTotalEventsRun) {
   for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
   sim.run();
   EXPECT_EQ(sim.total_events_run(), 7u);
+}
+
+// Regression for the lazy-deletion queue: a protocol that churns timers
+// (schedule, cancel, reschedule — the heartbeat/retransmission pattern) must
+// not grow the event queue with dead entries. One million churn rounds with
+// only a handful of live timers must keep the queue within the compaction
+// bound of twice the live count (plus the small no-compact floor).
+TEST(Simulator, MillionTimerChurnKeepsQueueBounded) {
+  Simulator sim;
+  constexpr int kLive = 8;
+  constexpr int kRounds = 1'000'000;
+  TimerId pending[kLive] = {};
+  std::uint64_t fired = 0;
+  std::size_t max_queued = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    const int slot = i % kLive;
+    sim.cancel(pending[slot]);
+    pending[slot] = sim.schedule_after(100, [&fired] { ++fired; });
+    max_queued = std::max(max_queued, sim.queued_events());
+  }
+  EXPECT_LE(sim.pending_events(), static_cast<std::size_t>(kLive));
+  // 2x live + the kCompactFloor worth of slack the compactor tolerates.
+  EXPECT_LE(max_queued, 2u * kLive + 64u);
+  sim.run();
+  EXPECT_EQ(fired, static_cast<std::uint64_t>(kLive));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.queued_events(), 0u);
+}
+
+// Cancelled-then-reused slots must never fire a stale callback: ids carry a
+// generation, so a cancel aimed at an old id whose slot was reused is a
+// no-op for the new timer.
+TEST(Simulator, StaleIdCancelDoesNotHitReusedSlot) {
+  Simulator sim;
+  int first = 0;
+  int second = 0;
+  const TimerId a = sim.schedule_at(5, [&first] { ++first; });
+  sim.cancel(a);
+  // The freed slot is reused immediately by the next schedule.
+  const TimerId b = sim.schedule_at(6, [&second] { ++second; });
+  sim.cancel(a);  // stale id — must not cancel b
+  sim.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+  (void)b;
 }
 
 }  // namespace
