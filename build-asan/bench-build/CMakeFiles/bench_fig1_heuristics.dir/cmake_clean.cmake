@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_heuristics"
+  "../bench/bench_fig1_heuristics.pdb"
+  "CMakeFiles/bench_fig1_heuristics.dir/bench_fig1_heuristics.cpp.o"
+  "CMakeFiles/bench_fig1_heuristics.dir/bench_fig1_heuristics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_recovery"
+  "../bench/bench_fig2_recovery.pdb"
+  "CMakeFiles/bench_fig2_recovery.dir/bench_fig2_recovery.cpp.o"
+  "CMakeFiles/bench_fig2_recovery.dir/bench_fig2_recovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

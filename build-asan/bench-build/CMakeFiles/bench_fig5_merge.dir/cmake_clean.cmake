@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_merge"
+  "../bench/bench_fig5_merge.pdb"
+  "CMakeFiles/bench_fig5_merge.dir/bench_fig5_merge.cpp.o"
+  "CMakeFiles/bench_fig5_merge.dir/bench_fig5_merge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_naming_deployments"
+  "../bench/bench_naming_deployments.pdb"
+  "CMakeFiles/bench_naming_deployments.dir/bench_naming_deployments.cpp.o"
+  "CMakeFiles/bench_naming_deployments.dir/bench_naming_deployments.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_naming_deployments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

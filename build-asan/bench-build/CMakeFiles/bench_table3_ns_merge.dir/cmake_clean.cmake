@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_ns_merge"
+  "../bench/bench_table3_ns_merge.pdb"
+  "CMakeFiles/bench_table3_ns_merge.dir/bench_table3_ns_merge.cpp.o"
+  "CMakeFiles/bench_table3_ns_merge.dir/bench_table3_ns_merge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ns_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

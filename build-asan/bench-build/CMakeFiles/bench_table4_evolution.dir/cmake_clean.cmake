@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_evolution"
+  "../bench/bench_table4_evolution.pdb"
+  "CMakeFiles/bench_table4_evolution.dir/bench_table4_evolution.cpp.o"
+  "CMakeFiles/bench_table4_evolution.dir/bench_table4_evolution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

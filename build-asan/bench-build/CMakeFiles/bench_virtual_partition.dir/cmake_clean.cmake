@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_virtual_partition"
+  "../bench/bench_virtual_partition.pdb"
+  "CMakeFiles/bench_virtual_partition.dir/bench_virtual_partition.cpp.o"
+  "CMakeFiles/bench_virtual_partition.dir/bench_virtual_partition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_virtual_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collab_sessions.dir/collab_sessions.cpp.o"
+  "CMakeFiles/collab_sessions.dir/collab_sessions.cpp.o.d"
+  "collab_sessions"
+  "collab_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collab_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_healing.dir/partition_healing.cpp.o"
+  "CMakeFiles/partition_healing.dir/partition_healing.cpp.o.d"
+  "partition_healing"
+  "partition_healing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_healing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trading_floor.dir/trading_floor.cpp.o"
+  "CMakeFiles/trading_floor.dir/trading_floor.cpp.o.d"
+  "trading_floor"
+  "trading_floor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trading_floor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plwg_harness.dir/chaos.cpp.o"
+  "CMakeFiles/plwg_harness.dir/chaos.cpp.o.d"
+  "CMakeFiles/plwg_harness.dir/world.cpp.o"
+  "CMakeFiles/plwg_harness.dir/world.cpp.o.d"
+  "libplwg_harness.a"
+  "libplwg_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plwg_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lwg/lwg_service.cpp" "src/lwg/CMakeFiles/plwg_lwg.dir/lwg_service.cpp.o" "gcc" "src/lwg/CMakeFiles/plwg_lwg.dir/lwg_service.cpp.o.d"
+  "/root/repo/src/lwg/lwg_service_map.cpp" "src/lwg/CMakeFiles/plwg_lwg.dir/lwg_service_map.cpp.o" "gcc" "src/lwg/CMakeFiles/plwg_lwg.dir/lwg_service_map.cpp.o.d"
+  "/root/repo/src/lwg/lwg_service_merge.cpp" "src/lwg/CMakeFiles/plwg_lwg.dir/lwg_service_merge.cpp.o" "gcc" "src/lwg/CMakeFiles/plwg_lwg.dir/lwg_service_merge.cpp.o.d"
+  "/root/repo/src/lwg/lwg_service_policy.cpp" "src/lwg/CMakeFiles/plwg_lwg.dir/lwg_service_policy.cpp.o" "gcc" "src/lwg/CMakeFiles/plwg_lwg.dir/lwg_service_policy.cpp.o.d"
+  "/root/repo/src/lwg/lwg_view.cpp" "src/lwg/CMakeFiles/plwg_lwg.dir/lwg_view.cpp.o" "gcc" "src/lwg/CMakeFiles/plwg_lwg.dir/lwg_view.cpp.o.d"
+  "/root/repo/src/lwg/messages.cpp" "src/lwg/CMakeFiles/plwg_lwg.dir/messages.cpp.o" "gcc" "src/lwg/CMakeFiles/plwg_lwg.dir/messages.cpp.o.d"
+  "/root/repo/src/lwg/policy.cpp" "src/lwg/CMakeFiles/plwg_lwg.dir/policy.cpp.o" "gcc" "src/lwg/CMakeFiles/plwg_lwg.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/names/CMakeFiles/plwg_names.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vsync/CMakeFiles/plwg_vsync.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/plwg_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/transport/CMakeFiles/plwg_transport.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/plwg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

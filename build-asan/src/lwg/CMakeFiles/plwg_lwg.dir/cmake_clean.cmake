@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plwg_lwg.dir/lwg_service.cpp.o"
+  "CMakeFiles/plwg_lwg.dir/lwg_service.cpp.o.d"
+  "CMakeFiles/plwg_lwg.dir/lwg_service_map.cpp.o"
+  "CMakeFiles/plwg_lwg.dir/lwg_service_map.cpp.o.d"
+  "CMakeFiles/plwg_lwg.dir/lwg_service_merge.cpp.o"
+  "CMakeFiles/plwg_lwg.dir/lwg_service_merge.cpp.o.d"
+  "CMakeFiles/plwg_lwg.dir/lwg_service_policy.cpp.o"
+  "CMakeFiles/plwg_lwg.dir/lwg_service_policy.cpp.o.d"
+  "CMakeFiles/plwg_lwg.dir/lwg_view.cpp.o"
+  "CMakeFiles/plwg_lwg.dir/lwg_view.cpp.o.d"
+  "CMakeFiles/plwg_lwg.dir/messages.cpp.o"
+  "CMakeFiles/plwg_lwg.dir/messages.cpp.o.d"
+  "CMakeFiles/plwg_lwg.dir/policy.cpp.o"
+  "CMakeFiles/plwg_lwg.dir/policy.cpp.o.d"
+  "libplwg_lwg.a"
+  "libplwg_lwg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plwg_lwg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plwg_metrics.dir/stats.cpp.o"
+  "CMakeFiles/plwg_metrics.dir/stats.cpp.o.d"
+  "libplwg_metrics.a"
+  "libplwg_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plwg_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

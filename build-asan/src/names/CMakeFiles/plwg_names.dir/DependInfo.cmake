@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/names/mapping.cpp" "src/names/CMakeFiles/plwg_names.dir/mapping.cpp.o" "gcc" "src/names/CMakeFiles/plwg_names.dir/mapping.cpp.o.d"
+  "/root/repo/src/names/messages.cpp" "src/names/CMakeFiles/plwg_names.dir/messages.cpp.o" "gcc" "src/names/CMakeFiles/plwg_names.dir/messages.cpp.o.d"
+  "/root/repo/src/names/naming_agent.cpp" "src/names/CMakeFiles/plwg_names.dir/naming_agent.cpp.o" "gcc" "src/names/CMakeFiles/plwg_names.dir/naming_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/vsync/CMakeFiles/plwg_vsync.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/transport/CMakeFiles/plwg_transport.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/plwg_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/plwg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plwg_names.dir/mapping.cpp.o"
+  "CMakeFiles/plwg_names.dir/mapping.cpp.o.d"
+  "CMakeFiles/plwg_names.dir/messages.cpp.o"
+  "CMakeFiles/plwg_names.dir/messages.cpp.o.d"
+  "CMakeFiles/plwg_names.dir/naming_agent.cpp.o"
+  "CMakeFiles/plwg_names.dir/naming_agent.cpp.o.d"
+  "libplwg_names.a"
+  "libplwg_names.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plwg_names.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

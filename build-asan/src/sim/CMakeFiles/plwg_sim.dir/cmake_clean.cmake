@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plwg_sim.dir/network.cpp.o"
+  "CMakeFiles/plwg_sim.dir/network.cpp.o.d"
+  "CMakeFiles/plwg_sim.dir/simulator.cpp.o"
+  "CMakeFiles/plwg_sim.dir/simulator.cpp.o.d"
+  "libplwg_sim.a"
+  "libplwg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plwg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plwg_transport.dir/node_runtime.cpp.o"
+  "CMakeFiles/plwg_transport.dir/node_runtime.cpp.o.d"
+  "libplwg_transport.a"
+  "libplwg_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plwg_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

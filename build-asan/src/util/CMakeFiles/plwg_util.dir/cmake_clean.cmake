@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plwg_util.dir/codec.cpp.o"
+  "CMakeFiles/plwg_util.dir/codec.cpp.o.d"
+  "CMakeFiles/plwg_util.dir/log.cpp.o"
+  "CMakeFiles/plwg_util.dir/log.cpp.o.d"
+  "CMakeFiles/plwg_util.dir/member_set.cpp.o"
+  "CMakeFiles/plwg_util.dir/member_set.cpp.o.d"
+  "CMakeFiles/plwg_util.dir/rng.cpp.o"
+  "CMakeFiles/plwg_util.dir/rng.cpp.o.d"
+  "libplwg_util.a"
+  "libplwg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plwg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vsync/group_endpoint.cpp" "src/vsync/CMakeFiles/plwg_vsync.dir/group_endpoint.cpp.o" "gcc" "src/vsync/CMakeFiles/plwg_vsync.dir/group_endpoint.cpp.o.d"
+  "/root/repo/src/vsync/group_endpoint_data.cpp" "src/vsync/CMakeFiles/plwg_vsync.dir/group_endpoint_data.cpp.o" "gcc" "src/vsync/CMakeFiles/plwg_vsync.dir/group_endpoint_data.cpp.o.d"
+  "/root/repo/src/vsync/group_endpoint_flush.cpp" "src/vsync/CMakeFiles/plwg_vsync.dir/group_endpoint_flush.cpp.o" "gcc" "src/vsync/CMakeFiles/plwg_vsync.dir/group_endpoint_flush.cpp.o.d"
+  "/root/repo/src/vsync/group_endpoint_merge.cpp" "src/vsync/CMakeFiles/plwg_vsync.dir/group_endpoint_merge.cpp.o" "gcc" "src/vsync/CMakeFiles/plwg_vsync.dir/group_endpoint_merge.cpp.o.d"
+  "/root/repo/src/vsync/messages.cpp" "src/vsync/CMakeFiles/plwg_vsync.dir/messages.cpp.o" "gcc" "src/vsync/CMakeFiles/plwg_vsync.dir/messages.cpp.o.d"
+  "/root/repo/src/vsync/view.cpp" "src/vsync/CMakeFiles/plwg_vsync.dir/view.cpp.o" "gcc" "src/vsync/CMakeFiles/plwg_vsync.dir/view.cpp.o.d"
+  "/root/repo/src/vsync/vsync_host.cpp" "src/vsync/CMakeFiles/plwg_vsync.dir/vsync_host.cpp.o" "gcc" "src/vsync/CMakeFiles/plwg_vsync.dir/vsync_host.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/transport/CMakeFiles/plwg_transport.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/plwg_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/plwg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

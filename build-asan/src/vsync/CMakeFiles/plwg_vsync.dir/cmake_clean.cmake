@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plwg_vsync.dir/group_endpoint.cpp.o"
+  "CMakeFiles/plwg_vsync.dir/group_endpoint.cpp.o.d"
+  "CMakeFiles/plwg_vsync.dir/group_endpoint_data.cpp.o"
+  "CMakeFiles/plwg_vsync.dir/group_endpoint_data.cpp.o.d"
+  "CMakeFiles/plwg_vsync.dir/group_endpoint_flush.cpp.o"
+  "CMakeFiles/plwg_vsync.dir/group_endpoint_flush.cpp.o.d"
+  "CMakeFiles/plwg_vsync.dir/group_endpoint_merge.cpp.o"
+  "CMakeFiles/plwg_vsync.dir/group_endpoint_merge.cpp.o.d"
+  "CMakeFiles/plwg_vsync.dir/messages.cpp.o"
+  "CMakeFiles/plwg_vsync.dir/messages.cpp.o.d"
+  "CMakeFiles/plwg_vsync.dir/view.cpp.o"
+  "CMakeFiles/plwg_vsync.dir/view.cpp.o.d"
+  "CMakeFiles/plwg_vsync.dir/vsync_host.cpp.o"
+  "CMakeFiles/plwg_vsync.dir/vsync_host.cpp.o.d"
+  "libplwg_vsync.a"
+  "libplwg_vsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plwg_vsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chaos_test.cpp" "tests/CMakeFiles/test_integration.dir/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/chaos_test.cpp.o.d"
+  "/root/repo/tests/harness_world_test.cpp" "tests/CMakeFiles/test_integration.dir/harness_world_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/harness_world_test.cpp.o.d"
+  "/root/repo/tests/integration_churn_test.cpp" "tests/CMakeFiles/test_integration.dir/integration_churn_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration_churn_test.cpp.o.d"
+  "/root/repo/tests/integration_scenarios_test.cpp" "tests/CMakeFiles/test_integration.dir/integration_scenarios_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration_scenarios_test.cpp.o.d"
+  "/root/repo/tests/sim_topology_test.cpp" "tests/CMakeFiles/test_integration.dir/sim_topology_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/sim_topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/harness/CMakeFiles/plwg_harness.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lwg/CMakeFiles/plwg_lwg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/names/CMakeFiles/plwg_names.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vsync/CMakeFiles/plwg_vsync.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/transport/CMakeFiles/plwg_transport.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/plwg_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/metrics/CMakeFiles/plwg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/plwg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

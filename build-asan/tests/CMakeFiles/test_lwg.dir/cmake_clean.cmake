@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lwg.dir/lwg_basic_test.cpp.o"
+  "CMakeFiles/test_lwg.dir/lwg_basic_test.cpp.o.d"
+  "CMakeFiles/test_lwg.dir/lwg_churn_property_test.cpp.o"
+  "CMakeFiles/test_lwg.dir/lwg_churn_property_test.cpp.o.d"
+  "CMakeFiles/test_lwg.dir/lwg_debug_dump_test.cpp.o"
+  "CMakeFiles/test_lwg.dir/lwg_debug_dump_test.cpp.o.d"
+  "CMakeFiles/test_lwg.dir/lwg_modes_test.cpp.o"
+  "CMakeFiles/test_lwg.dir/lwg_modes_test.cpp.o.d"
+  "CMakeFiles/test_lwg.dir/lwg_partition_test.cpp.o"
+  "CMakeFiles/test_lwg.dir/lwg_partition_test.cpp.o.d"
+  "CMakeFiles/test_lwg.dir/lwg_policy_test.cpp.o"
+  "CMakeFiles/test_lwg.dir/lwg_policy_test.cpp.o.d"
+  "CMakeFiles/test_lwg.dir/lwg_policy_world_test.cpp.o"
+  "CMakeFiles/test_lwg.dir/lwg_policy_world_test.cpp.o.d"
+  "CMakeFiles/test_lwg.dir/lwg_reconfig_test.cpp.o"
+  "CMakeFiles/test_lwg.dir/lwg_reconfig_test.cpp.o.d"
+  "CMakeFiles/test_lwg.dir/lwg_stress_test.cpp.o"
+  "CMakeFiles/test_lwg.dir/lwg_stress_test.cpp.o.d"
+  "CMakeFiles/test_lwg.dir/lwg_switch_test.cpp.o"
+  "CMakeFiles/test_lwg.dir/lwg_switch_test.cpp.o.d"
+  "test_lwg"
+  "test_lwg.pdb"
+  "test_lwg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lwg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

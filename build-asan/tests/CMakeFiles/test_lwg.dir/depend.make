@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lwg.
+# This may be replaced when dependencies are built.

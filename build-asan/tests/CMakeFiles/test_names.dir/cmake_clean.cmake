@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_names.dir/names_record_test.cpp.o"
+  "CMakeFiles/test_names.dir/names_record_test.cpp.o.d"
+  "CMakeFiles/test_names.dir/names_replication_test.cpp.o"
+  "CMakeFiles/test_names.dir/names_replication_test.cpp.o.d"
+  "CMakeFiles/test_names.dir/names_service_test.cpp.o"
+  "CMakeFiles/test_names.dir/names_service_test.cpp.o.d"
+  "CMakeFiles/test_names.dir/naming_mode_test.cpp.o"
+  "CMakeFiles/test_names.dir/naming_mode_test.cpp.o.d"
+  "test_names"
+  "test_names.pdb"
+  "test_names[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_names.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vsync.dir/view_format_test.cpp.o"
+  "CMakeFiles/test_vsync.dir/view_format_test.cpp.o.d"
+  "CMakeFiles/test_vsync.dir/vsync_basic_test.cpp.o"
+  "CMakeFiles/test_vsync.dir/vsync_basic_test.cpp.o.d"
+  "CMakeFiles/test_vsync.dir/vsync_failure_test.cpp.o"
+  "CMakeFiles/test_vsync.dir/vsync_failure_test.cpp.o.d"
+  "CMakeFiles/test_vsync.dir/vsync_flush_test.cpp.o"
+  "CMakeFiles/test_vsync.dir/vsync_flush_test.cpp.o.d"
+  "CMakeFiles/test_vsync.dir/vsync_join_test.cpp.o"
+  "CMakeFiles/test_vsync.dir/vsync_join_test.cpp.o.d"
+  "CMakeFiles/test_vsync.dir/vsync_merge_test.cpp.o"
+  "CMakeFiles/test_vsync.dir/vsync_merge_test.cpp.o.d"
+  "CMakeFiles/test_vsync.dir/vsync_multigroup_test.cpp.o"
+  "CMakeFiles/test_vsync.dir/vsync_multigroup_test.cpp.o.d"
+  "CMakeFiles/test_vsync.dir/vsync_order_test.cpp.o"
+  "CMakeFiles/test_vsync.dir/vsync_order_test.cpp.o.d"
+  "CMakeFiles/test_vsync.dir/vsync_partition_test.cpp.o"
+  "CMakeFiles/test_vsync.dir/vsync_partition_test.cpp.o.d"
+  "CMakeFiles/test_vsync.dir/vsync_property_test.cpp.o"
+  "CMakeFiles/test_vsync.dir/vsync_property_test.cpp.o.d"
+  "CMakeFiles/test_vsync.dir/vsync_stop_test.cpp.o"
+  "CMakeFiles/test_vsync.dir/vsync_stop_test.cpp.o.d"
+  "test_vsync"
+  "test_vsync.pdb"
+  "test_vsync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

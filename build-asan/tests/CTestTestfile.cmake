@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_util[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_vsync[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_names[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_lwg[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_metrics[1]_include.cmake")
