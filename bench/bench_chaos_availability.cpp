@@ -35,6 +35,7 @@ struct Availability {
 Availability run_one(std::uint64_t seed, Duration mean_partition_us) {
   constexpr std::size_t kProcs = 6;
   harness::WorldConfig cfg;
+  cfg.oracle = false;  // measuring the protocol, not checking it
   cfg.num_processes = kProcs;
   cfg.num_name_servers = 2;
   harness::SimWorld world(cfg);

@@ -30,6 +30,7 @@ struct Outcome {
 
 Outcome run_one(double k_m, double k_c) {
   harness::WorldConfig cfg;
+  cfg.oracle = false;  // measuring the protocol, not checking it
   cfg.num_processes = 8;
   cfg.lwg.k_m = k_m;
   cfg.lwg.k_c = k_c;

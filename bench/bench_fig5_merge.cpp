@@ -30,6 +30,7 @@ struct RunResult {
 
 RunResult run_one(std::size_t m) {
   harness::WorldConfig cfg;
+  cfg.oracle = false;  // measuring the protocol, not checking it
   cfg.num_processes = 8;
   cfg.num_name_servers = 2;
   harness::SimWorld world(cfg);

@@ -31,6 +31,7 @@ struct Result {
 Result run_one(harness::NamingMode mode) {
   constexpr std::size_t kProcs = 8;
   harness::WorldConfig cfg;
+  cfg.oracle = false;  // measuring the protocol, not checking it
   cfg.num_processes = kProcs;
   cfg.num_name_servers = 2;
   cfg.naming_mode = mode;

@@ -53,6 +53,7 @@ struct Result {
 
 Result run_one(lwg::MappingMode mode, std::size_t n) {
   harness::WorldConfig cfg;
+  cfg.oracle = false;  // measuring the protocol, not checking it
   cfg.num_processes = 8;
   cfg.net.bandwidth_bps = 10e6;
   cfg.net.node_process_cost_us = 300;

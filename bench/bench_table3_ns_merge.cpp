@@ -30,6 +30,7 @@ int main() {
   using namespace plwg::bench;
 
   harness::WorldConfig cfg;
+  cfg.oracle = false;  // measuring the protocol, not checking it
   cfg.num_processes = 4;
   cfg.num_name_servers = 2;
   cfg.lwg.reconcile_on_conflict = false;  // freeze the Table 3 state

@@ -34,6 +34,7 @@ struct Outcome {
 
 Outcome run_one(bool real_partition, Duration disturbance_us) {
   harness::WorldConfig cfg;
+  cfg.oracle = false;  // measuring the protocol, not checking it
   cfg.num_processes = 8;
   cfg.net.bandwidth_bps = 10e6;
   // A WAN-ish failure detector: three missed heartbeats mark a peer down —

@@ -38,6 +38,7 @@ struct Result {
 
 Result run_one(Duration wan_delay_us) {
   harness::WorldConfig cfg;
+  cfg.oracle = false;  // measuring the protocol, not checking it
   cfg.num_processes = 6;
   cfg.num_name_servers = 2;
   cfg.segments = {{0, 1, 2}, {3, 4, 5}};

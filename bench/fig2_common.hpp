@@ -69,6 +69,7 @@ inline Fig2World build_fig2_world(lwg::MappingMode mode, std::size_t n,
   (void)payload_bytes;
   Fig2World f;
   harness::WorldConfig cfg;
+  cfg.oracle = false;  // measuring the protocol, not checking it
   cfg.num_processes = kProcesses;
   cfg.num_name_servers = 1;
   cfg.net.bandwidth_bps = 10e6;        // the paper's 10 Mbps Ethernet

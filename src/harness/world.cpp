@@ -1,6 +1,8 @@
 #include "harness/world.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -87,9 +89,74 @@ SimWorld::SimWorld(WorldConfig config) : config_(std::move(config)) {
     }
     net_->set_segments(node_segments, config_.wan);
   }
+
+  crashed_.assign(processes_.size(), false);
+#ifndef PLWG_ORACLE_DISABLED
+  if (config_.oracle) {
+    oracle_ = std::make_unique<oracle::ProtocolOracle>(
+        [this] { return sim_.now(); });
+    for (auto& p : processes_) {
+      p.vsync->set_observer(oracle_.get());
+      p.lwg->set_observer(oracle_.get());
+      p.naming->set_observer(oracle_.get());
+    }
+    for (auto& s : servers_) s.naming->set_observer(oracle_.get());
+  }
+#endif
 }
 
-SimWorld::~SimWorld() { Logger::instance().set_time_source(nullptr); }
+SimWorld::~SimWorld() {
+  // Backstop for worlds not owned by a test fixture: unacknowledged
+  // violations are protocol bugs and must not evaporate with the world.
+  if (oracle_ && !oracle_->clean()) {
+    std::fprintf(stderr, "protocol oracle: %zu violation(s):\n%s\n",
+                 oracle_->total_violations(), oracle_->report_json().c_str());
+    std::abort();
+  }
+  Logger::instance().set_time_source(nullptr);
+}
+
+oracle::ProtocolOracle& SimWorld::oracle() {
+  PLWG_ASSERT_MSG(oracle_ != nullptr, "oracle not enabled in this world");
+  return *oracle_;
+}
+
+oracle::ConvergenceSnapshot SimWorld::convergence_snapshot() const {
+  oracle::ConvergenceSnapshot snap;
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (crashed_[i]) continue;
+    snap.alive.insert(processes_[i].runtime->process_id());
+    const lwg::LwgService& svc = *processes_[i].lwg;
+    for (LwgId lwg : svc.local_groups()) {
+      const lwg::LwgView* v = svc.view_of(lwg);
+      if (v != nullptr) {
+        snap.holders[lwg].push_back({processes_[i].runtime->process_id(), *v});
+      } else {
+        snap.unresolved.emplace_back(processes_[i].runtime->process_id(), lwg);
+      }
+    }
+  }
+  for (const auto& s : servers_) {
+    snap.databases.emplace_back(s.runtime->id(), &s.naming->database());
+  }
+  if (config_.naming_mode == NamingMode::kReplicatedEverywhere) {
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+      if (crashed_[i] || !processes_[i].naming->is_server()) continue;
+      snap.databases.emplace_back(processes_[i].runtime->id(),
+                                  &processes_[i].naming->database());
+    }
+  }
+  return snap;
+}
+
+std::string SimWorld::convergence_failure() const {
+  return oracle::check_converged(convergence_snapshot());
+}
+
+bool SimWorld::verify_convergence() {
+  if (oracle_) return oracle_->check_convergence(convergence_snapshot());
+  return convergence_failure().empty();
+}
 
 lwg::LwgService& SimWorld::lwg(std::size_t i) {
   PLWG_ASSERT(i < processes_.size());
@@ -161,7 +228,10 @@ void SimWorld::partition(const std::vector<std::vector<std::size_t>>& classes,
 
 void SimWorld::heal() { net_->heal(); }
 
-void SimWorld::crash(std::size_t i) { net_->crash(node(i)); }
+void SimWorld::crash(std::size_t i) {
+  net_->crash(node(i));
+  crashed_[i] = true;
+}
 
 void SimWorld::cut_wan() {
   PLWG_ASSERT_MSG(config_.segments.size() > 1,

@@ -12,6 +12,7 @@
 
 #include "lwg/lwg_service.hpp"
 #include "names/naming_agent.hpp"
+#include "oracle/oracle.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "transport/node_runtime.hpp"
@@ -43,6 +44,10 @@ struct WorldConfig {
   /// (paper Sect. 5.2).
   std::vector<std::vector<std::size_t>> segments;
   sim::WanConfig wan;
+  /// Wire the cross-node ProtocolOracle into every node (default). Benches
+  /// that measure the protocol itself turn it off; builds with
+  /// -DPLWG_ORACLE=OFF compile the hook sites out regardless.
+  bool oracle = true;
 };
 
 class SimWorld {
@@ -83,7 +88,23 @@ class SimWorld {
   /// (requires a multi-LAN WorldConfig::segments). heal() reconnects.
   void cut_wan();
 
+  // --- protocol oracle ----------------------------------------------------
+  /// True when the always-on invariant checker is wired into this world
+  /// (config.oracle and not compiled out).
+  [[nodiscard]] bool oracle_enabled() const { return oracle_ != nullptr; }
+  [[nodiscard]] oracle::ProtocolOracle& oracle();
+  [[nodiscard]] bool crashed(std::size_t i) const { return crashed_[i]; }
+  /// Invariants #4/#5 on the current state of all alive nodes: empty string
+  /// when mappings/views have converged, else the first failure found.
+  /// Usable as a run_until predicate after heal + quiescence.
+  [[nodiscard]] std::string convergence_failure() const;
+  /// Like convergence_failure(), but records a violation in the oracle on
+  /// failure. Returns true when converged.
+  bool verify_convergence();
+
  private:
+  [[nodiscard]] oracle::ConvergenceSnapshot convergence_snapshot() const;
+
   struct ProcessNode {
     std::unique_ptr<transport::NodeRuntime> runtime;
     std::unique_ptr<vsync::VsyncHost> vsync;
@@ -98,8 +119,12 @@ class SimWorld {
   WorldConfig config_;
   sim::Simulator sim_;
   std::unique_ptr<sim::Network> net_;
+  /// Declared before the nodes so it is destroyed after them: hooks may
+  /// still fire while nodes tear down.
+  std::unique_ptr<oracle::ProtocolOracle> oracle_;
   std::vector<ProcessNode> processes_;
   std::vector<ServerNode> servers_;
+  std::vector<bool> crashed_;
 };
 
 }  // namespace plwg::harness

@@ -6,6 +6,7 @@
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/observer_hook.hpp"
 
 namespace plwg::lwg {
 
@@ -124,6 +125,10 @@ ViewId LwgService::mint_view_id() {
   return ViewId{self(), ++lwg_view_counter_};
 }
 
+void LwgService::note_lwg_reset([[maybe_unused]] LwgId lwg) {
+  PLWG_OBSERVE(observer_, on_lwg_epoch_reset(self(), lwg));
+}
+
 names::MappingEntry LwgService::make_entry(const LocalGroup& lg,
                                            std::uint64_t stamp) const {
   names::MappingEntry entry;
@@ -169,6 +174,8 @@ void LwgService::install_lwg_view(LocalGroup& lg, const LwgView& view,
   stats_.lwg_views_installed++;
   PLWG_DEBUG("lwg", "p", self(), " lwg ", lg.lwg, " view ", view.id,
              view.members, " on hwg ", view.hwg);
+  PLWG_OBSERVE(observer_,
+               on_lwg_view_installed(self(), lg.lwg, view, predecessors));
   // Uniform registration rule: the coordinator of the newly installed view
   // owns the naming-service record for it.
   if (view.coordinator() == self()) {
@@ -195,6 +202,7 @@ void LwgService::drain_queued_sends(LocalGroup& lg) {
 }
 
 void LwgService::finalize_leave(LwgId lwg) {
+  note_lwg_reset(lwg);
   groups_.erase(lwg);
   // The shrink rule will notice HWGs left without local LWGs.
 }
@@ -345,6 +353,7 @@ void LwgService::tick() {
           // Our HWG endpoint died under us (excluded while wedged): rejoin.
           PLWG_INFO("lwg", "p", self(), " lwg ", id,
                     " lost its hwg endpoint, re-resolving");
+          note_lwg_reset(id);
           lg->stale_views.push_back(lg->view.id);
           lg->has_view = false;
           set_phase(*lg, Phase::kResolving);

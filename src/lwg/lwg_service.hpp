@@ -38,6 +38,7 @@
 #include "lwg/lwg_user.hpp"
 #include "lwg/lwg_view.hpp"
 #include "lwg/messages.hpp"
+#include "lwg/observer.hpp"
 #include "lwg/policy.hpp"
 #include "names/naming_agent.hpp"
 #include "util/types.hpp"
@@ -89,6 +90,9 @@ class LwgService : public GroupService,
   }
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const LwgConfig& config() const { return config_; }
+
+  /// Protocol observer (the cross-node oracle); may be null. Not owned.
+  void set_observer(LwgObserver* observer) { observer_ = observer; }
 
   /// Run the Fig. 1 heuristics immediately (tests/benches; normally they run
   /// every policy_period_us).
@@ -183,6 +187,10 @@ class LwgService : public GroupService,
     return body_scratch_;
   }
   [[nodiscard]] ViewId mint_view_id();
+  /// Tell the oracle this process's delivery epoch for `lwg` ended (view
+  /// dropped without a successor: leave, re-resolve, lost endpoint, or
+  /// knowingly skipped history). A later view must not pair with the old.
+  void note_lwg_reset(LwgId lwg);
   void tick();
   void install_lwg_view(LocalGroup& lg, const LwgView& view,
                         const std::vector<ViewId>& predecessors);
@@ -240,6 +248,7 @@ class LwgService : public GroupService,
   /// win; concurrent establishes reuse it so simultaneous group creations
   /// at one process land on one HWG instead of one each.
   std::optional<HwgId> provisional_hwg_;
+  LwgObserver* observer_ = nullptr;  // not owned
   std::uint32_t lwg_view_counter_ = 0;
   Time last_policy_run_ = 0;
   Stats stats_;

@@ -7,6 +7,7 @@
 #include "lwg/lwg_service.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/observer_hook.hpp"
 
 namespace plwg::lwg {
 
@@ -275,6 +276,7 @@ void LwgService::handle_view(HwgId gid, const ViewMsg& msg) {
     if (succeeds_mine) {
       // A successor view dropped us without a leave request (we were
       // unreachable during its installation): re-resolve from scratch.
+      note_lwg_reset(msg.lwg);
       lg->stale_views.push_back(lg->view.id);
       lg->has_view = false;
       set_phase(*lg, Phase::kResolving);
@@ -294,11 +296,18 @@ void LwgService::handle_view(HwgId gid, const ViewMsg& msg) {
   if (!lg->has_view) {
     // Joiner: first view that includes us.
     if (lg->phase == Phase::kAnnounced || lg->phase == Phase::kJoiningHwg) {
-      std::vector<ViewId> preds = msg.predecessors;
-      preds.insert(preds.end(), lg->stale_views.begin(),
-                   lg->stale_views.end());
+      const std::vector<ViewId> stale = std::move(lg->stale_views);
       lg->stale_views.clear();
+      std::vector<ViewId> preds = msg.predecessors;
+      preds.insert(preds.end(), stale.begin(), stale.end());
       install_lwg_view(*lg, view, preds);
+      // Only the new view's coordinator registers it, and it knows nothing
+      // of the views *we* abandoned when we re-resolved from scratch; write
+      // their supersession ourselves or those rows outlive everyone who
+      // remembers them (genealogy GC, paper Table 4).
+      if (lg->has_view && view.coordinator() != self() && !stale.empty()) {
+        names_.set(lg->lwg, make_entry(*lg, ++lg->ns_stamp), stale);
+      }
     }
     return;
   }
@@ -431,6 +440,9 @@ void LwgService::handle_data(HwgId gid, ProcessId src, const DataMsgView& msg) {
   }
   if (msg.lwg_view == lg->view.id) {
     stats_.data_delivered++;
+    PLWG_OBSERVE(observer_,
+                 on_lwg_delivered(self(), msg.lwg, msg.lwg_view, src,
+                                  msg.payload));
     lg->user->on_lwg_data(msg.lwg, src, msg.payload);
     return;
   }

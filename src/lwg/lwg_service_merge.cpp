@@ -15,9 +15,15 @@ namespace plwg::lwg {
 
 namespace {
 
-/// FNV-1a over the sorted constituent ids: the disambiguator that makes the
-/// deterministically computed merged view id globally fresh.
-std::uint32_t hash_constituents(const std::vector<ViewId>& ids) {
+/// FNV-1a over the sorted constituent ids *and the HWG view the merge was
+/// computed in*: the disambiguator that makes the deterministically
+/// computed merged view id globally fresh. The HWG view id must be part of
+/// the hash: a partition can strike mid-merge, leaving two concurrent HWG
+/// views whose members collected the identical constituent set but
+/// intersect it with different HWG memberships — without it both sides
+/// would mint the same id for different merged views.
+std::uint32_t hash_constituents(const std::vector<ViewId>& ids,
+                                const ViewId& hwg_view) {
   std::uint64_t h = 1469598103934665603ULL;
   auto mix = [&h](std::uint64_t v) {
     h ^= v;
@@ -28,6 +34,9 @@ std::uint32_t hash_constituents(const std::vector<ViewId>& ids) {
     mix(id.seq);
     mix(id.disambig);
   }
+  mix(hwg_view.coordinator.value());
+  mix(hwg_view.seq);
+  mix(hwg_view.disambig);
   std::uint32_t out = static_cast<std::uint32_t>(h ^ (h >> 32));
   return out == 0 ? 1 : out;  // 0 is reserved for locally minted ids
 }
@@ -139,10 +148,14 @@ void LwgService::process_pending_merges(HwgId gid,
       if (successor != nullptr && successor->view.members.contains(self())) {
         PLWG_INFO("lwg", "p", self(), " adopts superseding view ",
                   successor->view.id, " of lwg ", lwg);
+        // Adopting knowingly skips the history between our view and the
+        // successor, so this is an epoch break, not a consecutive install.
+        note_lwg_reset(lwg);
         install_lwg_view(*lg, successor->view, {lg->view.id});
       } else {
         PLWG_INFO("lwg", "p", self(), " dropped from lwg ", lwg,
                   " while away; re-resolving");
+        note_lwg_reset(lwg);
         lg->stale_views.push_back(lg->view.id);
         lg->has_view = false;
         set_phase(*lg, Phase::kResolving);
@@ -168,17 +181,26 @@ void LwgService::process_pending_merges(HwgId gid,
 
     LwgView merged;
     merged.id = ViewId{merged_members.min_member(), max_seq + 1,
-                       hash_constituents(constituents)};
+                       hash_constituents(constituents, new_hwg_view.id)};
     merged.members = merged_members;
     merged.hwg = gid;
     stats_.lwg_merges++;
     PLWG_INFO("lwg", "p", self(), " merges ", views.size(),
               " concurrent views of lwg ", lwg, " -> ", merged.id,
               merged.members);
+    // Supersede the collected *ancestry* too, not just the direct
+    // constituents: if an intermediate view's registration was lost in a
+    // partition, the genealogy chain at the naming service has a gap that
+    // no later direct-predecessor registration would ever close, and the
+    // orphaned row would stay alive forever (Table 4 GC relies on the
+    // chain being complete). Every member advertised its full ancestor set
+    // in ALL-VIEWS, so the union is the same at every merger.
+    std::vector<ViewId> obsolete = constituents;
+    obsolete.insert(obsolete.end(), superseded.begin(), superseded.end());
     // Install first: anything the application multicasts from the merge
     // hook is then tagged with the *merged* view and reaches every member
     // (state sent under a constituent view would be dropped as stale).
-    install_lwg_view(*lg, merged, constituents);
+    install_lwg_view(*lg, merged, obsolete);
     lg->user->on_lwg_merge(lwg, constituent_views, merged);
   }
 }

@@ -1,0 +1,36 @@
+// Observer interface of the light-weight group layer: per-process LWG
+// protocol events reported to the cross-node ProtocolOracle (src/oracle/).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "lwg/lwg_view.hpp"
+#include "util/types.hpp"
+
+namespace plwg::lwg {
+
+class LwgObserver {
+ public:
+  virtual ~LwgObserver() = default;
+
+  /// `p` installed `view` of LWG `lwg` (join, membership change, switch, or
+  /// merge-views); `predecessors` is the genealogy the installation carried.
+  virtual void on_lwg_view_installed(ProcessId p, LwgId lwg,
+                                     const LwgView& view,
+                                     std::span<const ViewId> predecessors) = 0;
+
+  /// `p` delivered an LWG data message from `src`, tagged with (and matching
+  /// `p`'s installed) view `view`.
+  virtual void on_lwg_delivered(ProcessId p, LwgId lwg, const ViewId& view,
+                                ProcessId src,
+                                std::span<const std::uint8_t> payload) = 0;
+
+  /// `p` abandoned its LWG view continuity (left the group, lost its HWG
+  /// endpoint and is re-resolving, or is adopting a view after missing
+  /// changes). Ends the process's delivery epoch for `lwg`: the next
+  /// installed view is not virtually-synchronous-consecutive with the last.
+  virtual void on_lwg_epoch_reset(ProcessId p, LwgId lwg) = 0;
+};
+
+}  // namespace plwg::lwg

@@ -106,10 +106,38 @@ void NamingAgent::client_on_mappings(const MappingsMsg& msg) {
 
 // --- server side -----------------------------------------------------------
 
+std::map<ViewId, MappingEntry> NamingAgent::alive_rows(LwgId lwg) const {
+  std::map<ViewId, MappingEntry> out;
+  auto it = server_->db.records.find(lwg);
+  if (it == server_->db.records.end()) return out;
+  for (const MappingEntry& e : it->second.alive_entries()) {
+    out.emplace(e.lwg_view, e);
+  }
+  return out;
+}
+
+void NamingAgent::report_record_diff(
+    LwgId lwg, const std::map<ViewId, MappingEntry>& before) {
+  if (observer_ == nullptr) return;
+  const std::map<ViewId, MappingEntry> after = alive_rows(lwg);
+  for (const auto& [view, entry] : before) {
+    if (!after.contains(view)) observer_->on_mapping_gced(node_.id(), lwg, view);
+  }
+  for (const auto& [view, entry] : after) {
+    auto it = before.find(view);
+    if (it == before.end() || !(it->second == entry)) {
+      observer_->on_mapping_written(node_.id(), lwg, entry);
+    }
+  }
+}
+
 void NamingAgent::server_on_set(NodeId from, const SetReqMsg& msg) {
   PLWG_ASSERT(server_);
   stats_.set_requests++;
+  const std::map<ViewId, MappingEntry> before =
+      observer_ ? alive_rows(msg.lwg) : std::map<ViewId, MappingEntry>{};
   server_->db.records[msg.lwg].apply(msg.entry, msg.predecessors);
+  report_record_diff(msg.lwg, before);
   Encoder body;
   AckMsg{msg.req_id}.encode(body);
   send_msg(from, NamingMsgType::kAck, body);
@@ -138,6 +166,7 @@ void NamingAgent::server_on_testset(NodeId from, const TestSetReqMsg& msg) {
   LwgRecord& rec = server_->db.records[msg.lwg];
   if (rec.entries.empty()) {
     rec.apply(msg.entry, {});
+    if (observer_) report_record_diff(msg.lwg, {});
   }
   MappingsMsg reply;
   reply.req_id = msg.req_id;
@@ -151,8 +180,18 @@ void NamingAgent::server_on_testset(NodeId from, const TestSetReqMsg& msg) {
 
 void NamingAgent::server_on_sync(const SyncMsg& msg) {
   PLWG_ASSERT(server_);
+  std::map<LwgId, std::map<ViewId, MappingEntry>> before;
+  if (observer_) {
+    for (const auto& [lwg, rec] : server_->db.records) {
+      before.emplace(lwg, alive_rows(lwg));
+    }
+    for (const auto& [lwg, rec] : msg.db.records) before.try_emplace(lwg);
+  }
   if (server_->db.merge_from(msg.db)) {
     PLWG_DEBUG("names", "server ", node_.id(), " merged peer state");
+    if (observer_) {
+      for (const auto& [lwg, rows] : before) report_record_diff(lwg, rows);
+    }
     server_check_conflicts();
   }
 }

@@ -21,6 +21,7 @@
 
 #include "names/mapping.hpp"
 #include "names/messages.hpp"
+#include "names/observer.hpp"
 #include "transport/node_runtime.hpp"
 #include "util/types.hpp"
 
@@ -76,6 +77,10 @@ class NamingAgent : public transport::PortHandler {
     conflict_listener_ = listener;
   }
 
+  /// Protocol observer (the cross-node oracle); may be null. Not owned.
+  /// Only server-role mutations are reported.
+  void set_observer(NamingObserver* observer) { observer_ = observer; }
+
   // --- server introspection (tests / Table 3-4 benches) -----------------
   [[nodiscard]] const Database& database() const;
   [[nodiscard]] std::string dump_database() const;
@@ -116,6 +121,12 @@ class NamingAgent : public transport::PortHandler {
   void client_on_ack(const AckMsg& msg);
   void client_on_mappings(const MappingsMsg& msg);
 
+  /// Report to the observer how the alive rows of `lwg` changed relative to
+  /// `before` (rows gone = genealogy GC, rows new/updated = writes).
+  void report_record_diff(LwgId lwg,
+                          const std::map<ViewId, MappingEntry>& before);
+  [[nodiscard]] std::map<ViewId, MappingEntry> alive_rows(LwgId lwg) const;
+
   void server_on_set(NodeId from, const SetReqMsg& msg);
   void server_on_read(NodeId from, const ReadReqMsg& msg);
   void server_on_testset(NodeId from, const TestSetReqMsg& msg);
@@ -130,6 +141,7 @@ class NamingAgent : public transport::PortHandler {
   std::vector<NodeId> servers_;
   std::optional<ServerState> server_;
   ConflictListener* conflict_listener_ = nullptr;
+  NamingObserver* observer_ = nullptr;  // not owned
 
   std::map<std::uint64_t, PendingRequest> pending_;
   std::uint64_t next_req_id_ = 1;

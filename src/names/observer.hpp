@@ -1,0 +1,29 @@
+// Observer interface of the naming service: per-server database mutations
+// reported to the cross-node ProtocolOracle (src/oracle/).
+//
+// Events are computed by diffing a record's alive entries around each
+// mutation (set / testset / anti-entropy merge), so genealogy GC shows up
+// as explicit on_mapping_gced events.
+#pragma once
+
+#include "names/mapping.hpp"
+#include "util/types.hpp"
+
+namespace plwg::names {
+
+class NamingObserver {
+ public:
+  virtual ~NamingObserver() = default;
+
+  /// Server node `server` now stores `entry` as an alive mapping for `lwg`
+  /// (new row, or an existing row updated to a higher stamp).
+  virtual void on_mapping_written(NodeId server, LwgId lwg,
+                                  const MappingEntry& entry) = 0;
+
+  /// Server node `server` dropped the alive mapping for (`lwg`,
+  /// `lwg_view`) — genealogy GC fired (a successor superseded it).
+  virtual void on_mapping_gced(NodeId server, LwgId lwg,
+                               const ViewId& lwg_view) = 0;
+};
+
+}  // namespace plwg::names

@@ -1,0 +1,39 @@
+#include "oracle/trace.hpp"
+
+namespace plwg::oracle {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kHwgView: return "hwg-view";
+    case EventKind::kHwgDeliver: return "hwg-deliver";
+    case EventKind::kHwgFlush: return "hwg-flush";
+    case EventKind::kHwgReset: return "hwg-reset";
+    case EventKind::kLwgView: return "lwg-view";
+    case EventKind::kLwgDeliver: return "lwg-deliver";
+    case EventKind::kLwgReset: return "lwg-reset";
+    case EventKind::kMapWrite: return "map-write";
+    case EventKind::kMapGc: return "map-gc";
+  }
+  return "?";
+}
+
+void write_json(std::ostream& os, const TraceEvent& event) {
+  os << "{\"t\":" << event.time << ",\"kind\":\"" << event_kind_name(event.kind)
+     << "\",\"group\":" << event.group;
+  if (event.view.valid()) os << ",\"view\":\"" << event.view << '"';
+  if (event.peer.valid()) os << ",\"peer\":" << event.peer.value();
+  if (event.arg != 0) os << ",\"arg\":" << event.arg;
+  os << '}';
+}
+
+TraceRing::TraceRing(std::size_t capacity) { buf_.resize(capacity); }
+
+void TraceRing::push(const TraceEvent& event) {
+  buf_[head_] = event;
+  head_ = (head_ + 1) % buf_.size();
+  if (head_ == 0) full_ = true;
+}
+
+std::size_t TraceRing::size() const { return full_ ? buf_.size() : head_; }
+
+}  // namespace plwg::oracle

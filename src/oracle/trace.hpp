@@ -1,0 +1,67 @@
+// Per-node ring buffer of protocol events. The oracle records every
+// observed event here; when an invariant trips, the rings of the involved
+// nodes are dumped as JSON alongside the violation so the offending
+// interleaving can be reconstructed without re-running the seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "util/types.hpp"
+#include "vsync/view.hpp"
+
+namespace plwg::oracle {
+
+enum class EventKind : std::uint8_t {
+  kHwgView,
+  kHwgDeliver,
+  kHwgFlush,
+  kHwgReset,
+  kLwgView,
+  kLwgDeliver,
+  kLwgReset,
+  kMapWrite,
+  kMapGc,
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind kind);
+
+struct TraceEvent {
+  Time time = 0;
+  EventKind kind = EventKind::kHwgView;
+  std::uint64_t group = 0;  // HwgId or LwgId value
+  vsync::ViewId view;
+  ProcessId peer;      // origin / src / initiator, where applicable
+  std::uint64_t arg = 0;  // seq / sender_msg_id / stamp
+};
+
+/// Append `event` to `os` as one JSON object.
+void write_json(std::ostream& os, const TraceEvent& event);
+
+/// Fixed-capacity ring: pushing past capacity overwrites the oldest event.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 512);
+
+  void push(const TraceEvent& event);
+  [[nodiscard]] std::size_t size() const;
+
+  /// Oldest-to-newest iteration.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t n = size();
+    const std::size_t start = full_ ? head_ : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(buf_[(start + i) % buf_.size()]);
+    }
+  }
+
+ private:
+  std::vector<TraceEvent> buf_;
+  std::size_t head_ = 0;  // next write slot
+  bool full_ = false;
+};
+
+}  // namespace plwg::oracle

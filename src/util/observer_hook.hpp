@@ -1,0 +1,23 @@
+// Compile-out knob for the protocol-oracle observer hooks.
+//
+// The vsync/lwg/names layers report protocol events (view installed,
+// message delivered, mapping written, ...) through per-layer observer
+// interfaces so the cross-node ProtocolOracle (src/oracle/) can check the
+// DESIGN.md Sect. 6 invariants online. Hook sites sit on hot paths
+// (deliver_one, handle_data), so builds that measure the protocol itself
+// (the Fig. 2 benches) can compile every site down to nothing with
+// `cmake -DPLWG_ORACLE=OFF` (which defines PLWG_ORACLE_DISABLED).
+#pragma once
+
+#ifdef PLWG_ORACLE_DISABLED
+#define PLWG_OBSERVE(observer_ptr, call) \
+  do {                                   \
+  } while (false)
+#else
+#define PLWG_OBSERVE(observer_ptr, call)    \
+  do {                                      \
+    if (auto* plwg_obs_ = (observer_ptr)) { \
+      plwg_obs_->call;                      \
+    }                                       \
+  } while (false)
+#endif

@@ -6,6 +6,7 @@
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/observer_hook.hpp"
 #include "vsync/vsync_host.hpp"
 
 namespace plwg::vsync {
@@ -46,7 +47,7 @@ void GroupEndpoint::set_state(State s) {
 void GroupEndpoint::create() {
   PLWG_ASSERT_MSG(!has_view_, "create on an endpoint that has a view");
   View v;
-  v.id = ViewId{self(), ++next_view_seq_};
+  v.id = ViewId{self(), host_.mint_view_seq(gid_)};
   v.members = MemberSet{self()};
   install_view(v);
 }
@@ -116,6 +117,7 @@ void GroupEndpoint::install_view(const View& view) {
   set_state(State::kActive);
   stats_.views_installed++;
   PLWG_DEBUG("vsync", "p", self(), " g", gid_, " installed ", view_);
+  PLWG_OBSERVE(host_.observer(), on_hwg_view_installed(self(), gid_, view_));
   user_.on_view(gid_, view_);
   if (defunct()) return;  // user may have left during the upcall
   flush_pending_sends();
@@ -161,6 +163,7 @@ void GroupEndpoint::reset_view_state() {
 }
 
 void GroupEndpoint::become_defunct() {
+  PLWG_OBSERVE(host_.observer(), on_hwg_endpoint_reset(self(), gid_));
   set_state(State::kLeft);
   has_view_ = false;
   flush_op_.reset();

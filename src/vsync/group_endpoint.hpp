@@ -314,7 +314,6 @@ class GroupEndpoint {
   // Voluntary leavers are forgotten so they are not probed forever.
   MemberSet departed_;
 
-  std::uint32_t next_view_seq_ = 0;  // local view-sequence-number counter
   Stats stats_;
 };
 

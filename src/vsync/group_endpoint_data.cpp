@@ -10,6 +10,7 @@
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/observer_hook.hpp"
 #include "vsync/vsync_host.hpp"
 
 namespace plwg::vsync {
@@ -151,6 +152,11 @@ void GroupEndpoint::deliver_contiguous() {
 void GroupEndpoint::deliver_one(const OrderedMsg& msg) {
   if (msg.origin == self()) unacked_sends_.erase(msg.sender_msg_id);
   stats_.msgs_delivered++;
+  // During a cut delivery view_.id is still the closing view — exactly the
+  // view this delivery belongs to under virtual synchrony.
+  PLWG_OBSERVE(host_.observer(),
+               on_hwg_delivered(self(), gid_, view_.id, msg.seq, msg.origin,
+                                msg.sender_msg_id, msg.payload));
   user_.on_data(gid_, msg.origin, msg.payload);
 }
 

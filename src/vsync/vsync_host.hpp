@@ -14,6 +14,7 @@
 #include "vsync/config.hpp"
 #include "vsync/group_endpoint.hpp"
 #include "vsync/group_user.hpp"
+#include "vsync/observer.hpp"
 
 namespace plwg::vsync {
 
@@ -56,11 +57,22 @@ class VsyncHost : public transport::PortHandler {
   [[nodiscard]] transport::NodeRuntime& node() { return node_; }
   [[nodiscard]] const VsyncConfig& config() const { return config_; }
 
+  /// Protocol observer (the cross-node oracle); may be null. Not owned.
+  void set_observer(VsyncObserver* observer) { observer_ = observer; }
+  [[nodiscard]] VsyncObserver* observer() const { return observer_; }
+
   // --- used by GroupEndpoint ----------------------------------------------
   void send_group_msg(HwgId gid, ProcessId to, MsgType type,
                       const Encoder& body);
   void multicast_group_msg(HwgId gid, const MemberSet& to, MsgType type,
                            const Encoder& body);
+  /// Next view-sequence number this process mints for `gid`. Lives at host
+  /// scope — not in the endpoint — so a process that leaves a group and
+  /// later rejoins it never reuses a (coordinator, seq) view id it already
+  /// minted; stale packets tagged with a recycled id must stay stale.
+  [[nodiscard]] std::uint32_t mint_view_seq(HwgId gid) {
+    return ++view_seqs_[gid];
+  }
 
   // transport::PortHandler
   void on_message(NodeId from, Decoder& dec) override;
@@ -73,7 +85,11 @@ class VsyncHost : public transport::PortHandler {
 
   transport::NodeRuntime& node_;
   VsyncConfig config_;
+  VsyncObserver* observer_ = nullptr;  // not owned
   std::unordered_map<HwgId, std::unique_ptr<GroupEndpoint>> endpoints_;
+  /// Per-group view-sequence counters (see mint_view_seq); survives
+  /// endpoint teardown and recreation.
+  std::unordered_map<HwgId, std::uint32_t> view_seqs_;
   std::uint32_t next_group_counter_ = 1;
   bool dispatching_ = false;
   // Reused for every outbound frame; safe because the transport copies the

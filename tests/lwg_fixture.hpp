@@ -53,6 +53,16 @@ class LwgFixture : public ::testing::Test {
     for (auto& u : users_) u = std::make_unique<RecordingLwgUser>();
   }
 
+  void TearDown() override {
+    if (world_ && world_->oracle_enabled()) {
+      oracle::ProtocolOracle& o = world_->oracle();
+      EXPECT_TRUE(o.clean()) << o.report_json();
+      // Acknowledge: a failing test reports through gtest, not through the
+      // SimWorld destructor's abort backstop.
+      o.clear();
+    }
+  }
+
   harness::SimWorld& world() { return *world_; }
   lwg::LwgService& lwg(std::size_t i) { return world_->lwg(i); }
   RecordingLwgUser& user(std::size_t i) { return *users_[i]; }

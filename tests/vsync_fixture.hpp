@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "oracle/oracle.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "transport/node_runtime.hpp"
@@ -74,10 +75,21 @@ class VsyncFixture : public ::testing::Test {
   void build(std::size_t n, sim::NetworkConfig net_cfg = {},
              VsyncConfig vs_cfg = {}) {
     net_ = std::make_unique<sim::Network>(sim_, net_cfg);
+#ifndef PLWG_ORACLE_DISABLED
+    oracle_ = std::make_unique<oracle::ProtocolOracle>(
+        [this] { return sim_.now(); });
+#endif
     for (std::size_t i = 0; i < n; ++i) {
       nodes_.push_back(std::make_unique<transport::NodeRuntime>(*net_));
       hosts_.push_back(std::make_unique<VsyncHost>(*nodes_[i], vs_cfg));
+      hosts_[i]->set_observer(oracle_.get());
       users_.push_back(std::make_unique<RecordingUser>(hosts_[i].get()));
+    }
+  }
+
+  void TearDown() override {
+    if (oracle_) {
+      EXPECT_TRUE(oracle_->clean()) << oracle_->report_json();
     }
   }
 
@@ -128,6 +140,7 @@ class VsyncFixture : public ::testing::Test {
 
   sim::Simulator sim_;
   std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<oracle::ProtocolOracle> oracle_;
   std::vector<std::unique_ptr<transport::NodeRuntime>> nodes_;
   std::vector<std::unique_ptr<VsyncHost>> hosts_;
   std::vector<std::unique_ptr<RecordingUser>> users_;
