@@ -1,0 +1,55 @@
+// Per-process durable storage: the few words of protocol state that must
+// survive a crash–restart because safety (not just liveness) depends on
+// them. In a real deployment this is a small file fsync'd on update; in the
+// harness it is a struct owned by SimWorld that outlives the ProcessNode.
+//
+// What goes here and why:
+//   * incarnation — the transport tags every frame with it so peers can
+//     tell a reborn process from the ghost of its predecessor. Restart
+//     increments it; reusing one would let stale frames reanimate old
+//     protocol state.
+//   * hwg_view_seqs / hwg_group_counter — view ids and group ids embed a
+//     (process, counter) pair. If the counters restarted at zero with the
+//     process, a reborn coordinator would mint (coordinator, seq) view ids
+//     it already used in its previous life, and stale packets tagged with
+//     the recycled id would be accepted as fresh — the exact view-id-reuse
+//     bug the per-host counters were introduced to fix, resurfaced.
+//   * lwg_view_counter — same argument one layer up.
+//   * lwg_registrations — which LWGs the local application had joined,
+//     i.e. the restart script: the recovery path replays these joins so the
+//     reborn process re-resolves each group through the naming service and
+//     rejoins it. The LwgUser pointer stands in for the application, which
+//     conceptually outlives the process.
+//
+// Deliberately NOT here: views, memberships, mappings, ns stamps. Those are
+// soft state the protocols rebuild (a restarted process rejoins through the
+// normal join path and is handed fresh views; ns stamps are per-lwg-view).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace plwg::lwg {
+class LwgUser;
+}
+
+namespace plwg::durable {
+
+struct ProcessStore {
+  /// Crash–restart incarnation of the process bound to this store;
+  /// incremented by each restart, carried in every transport frame.
+  std::uint32_t incarnation = 0;
+
+  // -- vsync (see VsyncHost) --
+  std::unordered_map<HwgId, std::uint32_t> hwg_view_seqs;
+  std::uint32_t hwg_group_counter = 1;
+
+  // -- lwg (see LwgService) --
+  std::uint32_t lwg_view_counter = 0;
+  std::map<LwgId, lwg::LwgUser*> lwg_registrations;
+};
+
+}  // namespace plwg::durable

@@ -17,12 +17,15 @@ ChaosMonkey::ChaosMonkey(SimWorld& world, ChaosConfig config)
 void ChaosMonkey::run_for(Duration us) {
   const Time deadline = world_.simulator().now() + us;
   while (world_.simulator().now() < deadline) {
+    fire_due_restarts();
     if (next_event_ <= world_.simulator().now()) inject();
-    const Time step = std::min(deadline, next_event_);
+    const Time step =
+        std::min({deadline, next_event_, earliest_pending()});
     if (step > world_.simulator().now()) {
       world_.run_for(step - world_.simulator().now());
     }
   }
+  fire_due_restarts();
 }
 
 void ChaosMonkey::quiesce() {
@@ -30,7 +33,33 @@ void ChaosMonkey::quiesce() {
     world_.heal();
     partitioned_ = false;
   }
+  // Fire every scheduled restart now: quiescence means the world settles
+  // with everyone that was going to come back already back.
+  for (PendingRestart& pr : pending_restarts_) pr.due = world_.simulator().now();
+  fire_due_restarts();
   next_event_ = kTimeMax;
+}
+
+Time ChaosMonkey::earliest_pending() const {
+  Time t = kTimeMax;
+  for (const PendingRestart& pr : pending_restarts_) t = std::min(t, pr.due);
+  return t;
+}
+
+void ChaosMonkey::fire_due_restarts() {
+  const Time now = world_.simulator().now();
+  for (std::size_t i = 0; i < pending_restarts_.size();) {
+    if (pending_restarts_[i].due > now) {
+      ++i;
+      continue;
+    }
+    const PendingRestart pr = pending_restarts_[i];
+    pending_restarts_.erase(pending_restarts_.begin() + i);
+    world_.restart(pr.index);
+    std::erase(crashed_, pr.index);
+    restarts_fired_++;
+    restart_log_.push_back(RestartEvent{pr.index, pr.crashed_at, now});
+  }
 }
 
 void ChaosMonkey::inject() {
@@ -53,6 +82,14 @@ void ChaosMonkey::inject() {
       world_.crash(victim);
       crashed_.push_back(victim);
       crashes_injected_++;
+      if (config_.restart_probability > 0 &&
+          rng_.next_bool(config_.restart_probability)) {
+        const Time now = world_.simulator().now();
+        const auto downtime = static_cast<Duration>(rng_.next_exponential(
+            static_cast<double>(config_.mean_downtime_us)));
+        pending_restarts_.push_back(PendingRestart{
+            now + std::max<Duration>(downtime, 1'000), victim, now});
+      }
     }
   } else {
     // Random two-way split over the *alive* processes; name server 0 goes

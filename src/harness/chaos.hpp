@@ -1,6 +1,7 @@
 // ChaosMonkey: randomized fault injection against a SimWorld — partitions
-// of random shape and duration and (optionally) crashes — driven step by
-// step so tests and benches stay in control of time.
+// of random shape and duration, crashes and (optionally) crash–restart
+// cycles — driven step by step so tests and benches stay in control of
+// time.
 //
 // Used by the soak tests and the availability experiment; deterministic
 // under a fixed seed like everything else in the simulator.
@@ -22,8 +23,23 @@ struct ChaosConfig {
   Duration mean_partition_us = 4'000'000;
   /// Probability a fault event is a crash instead of a partition.
   double crash_probability = 0.0;
-  /// Most crashes chaos will inject (keeps a majority alive).
+  /// Most simultaneously-crashed processes chaos will allow (keeps a
+  /// majority alive). With restarts enabled the same process may crash
+  /// again after it came back.
   std::size_t max_crashes = 0;
+  /// Probability a crashed process gets a restart scheduled (0 = crashes
+  /// are permanent, the pre-restart behaviour).
+  double restart_probability = 0.0;
+  /// Mean downtime between a crash and its scheduled restart (exponential),
+  /// microseconds.
+  Duration mean_downtime_us = 2'000'000;
+};
+
+/// One completed crash–restart cycle, for availability / MTTR accounting.
+struct RestartEvent {
+  std::size_t index;   // process index
+  Time crashed_at;     // when the crash was injected
+  Time restarted_at;   // when the restart fired
 };
 
 class ChaosMonkey {
@@ -33,7 +49,8 @@ class ChaosMonkey {
   /// Advance the world by `us`, injecting faults on the way.
   void run_for(Duration us);
 
-  /// Heal any open partition and stop injecting (crashed nodes stay down).
+  /// Heal any open partition, fire every pending restart, and stop
+  /// injecting. Crashed processes without a scheduled restart stay down.
   void quiesce();
 
   [[nodiscard]] std::size_t partitions_injected() const {
@@ -42,13 +59,27 @@ class ChaosMonkey {
   [[nodiscard]] std::size_t crashes_injected() const {
     return crashes_injected_;
   }
+  [[nodiscard]] std::size_t restarts_fired() const { return restarts_fired_; }
+  /// Processes currently down.
   [[nodiscard]] const std::vector<std::size_t>& crashed() const {
     return crashed_;
+  }
+  /// Completed crash–restart cycles, in restart order.
+  [[nodiscard]] const std::vector<RestartEvent>& restart_log() const {
+    return restart_log_;
   }
   [[nodiscard]] bool partitioned() const { return partitioned_; }
 
  private:
+  struct PendingRestart {
+    Time due;
+    std::size_t index;
+    Time crashed_at;
+  };
+
   void inject();
+  void fire_due_restarts();
+  [[nodiscard]] Time earliest_pending() const;
 
   SimWorld& world_;
   ChaosConfig config_;
@@ -57,7 +88,10 @@ class ChaosMonkey {
   Time next_event_ = 0;
   std::size_t partitions_injected_ = 0;
   std::size_t crashes_injected_ = 0;
+  std::size_t restarts_fired_ = 0;
   std::vector<std::size_t> crashed_;
+  std::vector<PendingRestart> pending_restarts_;
+  std::vector<RestartEvent> restart_log_;
 };
 
 }  // namespace plwg::harness

@@ -18,55 +18,31 @@ SimWorld::SimWorld(WorldConfig config) : config_(std::move(config)) {
   // Create process nodes first so ProcessId i == node i == index i, then the
   // name-server nodes (none in the replicated-everywhere deployment).
   processes_.resize(config_.num_processes);
+  stores_.resize(config_.num_processes);
   for (auto& p : processes_) {
     p.runtime = std::make_unique<transport::NodeRuntime>(*net_);
   }
   servers_.resize(replicated ? 0 : config_.num_name_servers);
+  server_stores_.resize(servers_.size());
   for (auto& s : servers_) {
     s.runtime = std::make_unique<transport::NodeRuntime>(*net_);
   }
 
-  std::vector<NodeId> server_nodes;
   if (replicated) {
-    for (const auto& p : processes_) server_nodes.push_back(p.runtime->id());
+    for (const auto& p : processes_) server_nodes_.push_back(p.runtime->id());
   } else {
-    for (const auto& s : servers_) server_nodes.push_back(s.runtime->id());
+    for (const auto& s : servers_) server_nodes_.push_back(s.runtime->id());
   }
 
-  for (std::size_t j = 0; j < servers_.size(); ++j) {
-    auto& s = servers_[j];
-    s.naming = std::make_unique<names::NamingAgent>(*s.runtime, config_.naming,
-                                                    server_nodes);
-    std::vector<NodeId> peers;
-    for (std::size_t k = 0; k < server_nodes.size(); ++k) {
-      if (k != j) peers.push_back(server_nodes[k]);
-    }
-    s.naming->enable_server(std::move(peers));
+#ifndef PLWG_ORACLE_DISABLED
+  if (config_.oracle) {
+    oracle_ = std::make_unique<oracle::ProtocolOracle>(
+        [this] { return sim_.now(); });
   }
+#endif
 
-  for (std::size_t i = 0; i < processes_.size(); ++i) {
-    auto& p = processes_[i];
-    // Rotate the fail-over order per process: spreads client load and gives
-    // each "LAN" a preferred local server. In the replicated deployment the
-    // rotation puts the process's own replica first: reads become local.
-    std::vector<NodeId> order = server_nodes;
-    if (!order.empty()) {
-      std::rotate(order.begin(), order.begin() + (i % order.size()),
-                  order.end());
-    }
-    p.vsync = std::make_unique<vsync::VsyncHost>(*p.runtime, config_.vsync);
-    p.naming = std::make_unique<names::NamingAgent>(*p.runtime, config_.naming,
-                                                    std::move(order));
-    if (replicated) {
-      std::vector<NodeId> peers;
-      for (std::size_t k = 0; k < server_nodes.size(); ++k) {
-        if (k != i) peers.push_back(server_nodes[k]);
-      }
-      p.naming->enable_server(std::move(peers));
-    }
-    p.lwg =
-        std::make_unique<lwg::LwgService>(*p.vsync, *p.naming, config_.lwg);
-  }
+  for (std::size_t j = 0; j < servers_.size(); ++j) build_server(j);
+  for (std::size_t i = 0; i < processes_.size(); ++i) build_process(i);
 
   if (config_.segments.size() > 1) {
     // Multi-LAN topology: processes per their configured segment; dedicated
@@ -91,17 +67,54 @@ SimWorld::SimWorld(WorldConfig config) : config_(std::move(config)) {
   }
 
   crashed_.assign(processes_.size(), false);
-#ifndef PLWG_ORACLE_DISABLED
-  if (config_.oracle) {
-    oracle_ = std::make_unique<oracle::ProtocolOracle>(
-        [this] { return sim_.now(); });
-    for (auto& p : processes_) {
-      p.vsync->set_observer(oracle_.get());
-      p.lwg->set_observer(oracle_.get());
-      p.naming->set_observer(oracle_.get());
-    }
-    for (auto& s : servers_) s.naming->set_observer(oracle_.get());
+  server_crashed_.assign(servers_.size(), false);
+}
+
+void SimWorld::build_process(std::size_t i, names::Database server_disk) {
+  const bool replicated =
+      config_.naming_mode == NamingMode::kReplicatedEverywhere;
+  auto& p = processes_[i];
+  // Rotate the fail-over order per process: spreads client load and gives
+  // each "LAN" a preferred local server. In the replicated deployment the
+  // rotation puts the process's own replica first: reads become local.
+  std::vector<NodeId> order = server_nodes_;
+  if (!order.empty()) {
+    std::rotate(order.begin(), order.begin() + (i % order.size()),
+                order.end());
   }
+  p.vsync = std::make_unique<vsync::VsyncHost>(*p.runtime, config_.vsync,
+                                               &stores_[i]);
+  p.naming = std::make_unique<names::NamingAgent>(*p.runtime, config_.naming,
+                                                  std::move(order));
+  if (replicated) {
+    std::vector<NodeId> peers;
+    for (std::size_t k = 0; k < server_nodes_.size(); ++k) {
+      if (k != i) peers.push_back(server_nodes_[k]);
+    }
+    p.naming->enable_server(std::move(peers), std::move(server_disk));
+  }
+  p.lwg = std::make_unique<lwg::LwgService>(*p.vsync, *p.naming, config_.lwg,
+                                            &stores_[i]);
+#ifndef PLWG_ORACLE_DISABLED
+  if (oracle_) {
+    p.vsync->set_observer(oracle_.get());
+    p.lwg->set_observer(oracle_.get());
+    p.naming->set_observer(oracle_.get());
+  }
+#endif
+}
+
+void SimWorld::build_server(std::size_t j, names::Database disk) {
+  auto& s = servers_[j];
+  s.naming = std::make_unique<names::NamingAgent>(*s.runtime, config_.naming,
+                                                  server_nodes_);
+  std::vector<NodeId> peers;
+  for (std::size_t k = 0; k < server_nodes_.size(); ++k) {
+    if (k != j) peers.push_back(server_nodes_[k]);
+  }
+  s.naming->enable_server(std::move(peers), std::move(disk));
+#ifndef PLWG_ORACLE_DISABLED
+  if (oracle_) s.naming->set_observer(oracle_.get());
 #endif
 }
 
@@ -136,8 +149,10 @@ oracle::ConvergenceSnapshot SimWorld::convergence_snapshot() const {
       }
     }
   }
-  for (const auto& s : servers_) {
-    snap.databases.emplace_back(s.runtime->id(), &s.naming->database());
+  for (std::size_t j = 0; j < servers_.size(); ++j) {
+    if (server_crashed_[j]) continue;
+    snap.databases.emplace_back(servers_[j].runtime->id(),
+                                &servers_[j].naming->database());
   }
   if (config_.naming_mode == NamingMode::kReplicatedEverywhere) {
     for (std::size_t i = 0; i < processes_.size(); ++i) {
@@ -231,6 +246,83 @@ void SimWorld::heal() { net_->heal(); }
 void SimWorld::crash(std::size_t i) {
   net_->crash(node(i));
   crashed_[i] = true;
+}
+
+void SimWorld::restart(std::size_t i) {
+  PLWG_ASSERT(i < processes_.size());
+  PLWG_ASSERT_MSG(crashed_[i], "restart of a process that is not crashed");
+  ProcessNode& p = processes_[i];
+  const ProcessId self = p.runtime->process_id();
+#ifndef PLWG_ORACLE_DISABLED
+  // The dead incarnation's delivery epochs end here. A graceful teardown
+  // reports them through become_defunct()/note_lwg_reset(); plain
+  // destruction does not, so fire the resets by hand — otherwise the
+  // successor's first views would be paired with the corpse's.
+  if (oracle_) {
+    for (const auto& [gid, ep] : p.vsync->endpoints()) {
+      oracle_->on_hwg_endpoint_reset(self, gid);
+    }
+    for (LwgId lwg : p.lwg->local_groups()) {
+      oracle_->on_lwg_epoch_reset(self, lwg);
+    }
+  }
+#endif
+  names::Database disk;
+  if (p.naming->is_server()) disk = p.naming->database();
+  const NodeId nid = p.runtime->id();
+  // Teardown in reverse dependency order. The rebind below advances the
+  // node's crash epoch, which also invalidates every timer the dead
+  // incarnation still has in the simulator (see NodeRuntime::after).
+  p.lwg.reset();
+  p.naming.reset();
+  p.vsync.reset();
+  stores_[i].incarnation++;
+  p.runtime = std::make_unique<transport::NodeRuntime>(
+      *net_, nid, stores_[i].incarnation);
+  crashed_[i] = false;
+  build_process(i, std::move(disk));
+  // Recovery: replay the restart script. Each join re-resolves the LWG
+  // through the naming service and rejoins (or re-creates) it. Iterate a
+  // copy: join() re-records each registration in the store.
+  const auto script = stores_[i].lwg_registrations;
+  for (const auto& [lwg, user] : script) p.lwg->join(lwg, *user);
+  PLWG_INFO("world", "process ", i, " restarted as incarnation ",
+            stores_[i].incarnation, ", rejoining ", script.size(), " lwg(s)");
+}
+
+std::uint32_t SimWorld::incarnation(std::size_t i) const {
+  PLWG_ASSERT(i < stores_.size());
+  return stores_[i].incarnation;
+}
+
+void SimWorld::crash_server(std::size_t j) {
+  PLWG_ASSERT(j < servers_.size());
+  net_->crash(servers_[j].runtime->id());
+  server_crashed_[j] = true;
+}
+
+void SimWorld::restart_server(std::size_t j) {
+  PLWG_ASSERT(j < servers_.size());
+  PLWG_ASSERT_MSG(server_crashed_[j], "restart of a server that is not crashed");
+  ServerNode& s = servers_[j];
+  // The replica's database is disk-backed: reload what the dead incarnation
+  // had acked. Volatile state (pending requests, callback de-dup, peer
+  // sync cursors) dies with it and is rebuilt by anti-entropy.
+  names::Database disk = s.naming->database();
+  const NodeId nid = s.runtime->id();
+  s.naming.reset();
+  server_stores_[j].incarnation++;
+  s.runtime = std::make_unique<transport::NodeRuntime>(
+      *net_, nid, server_stores_[j].incarnation);
+  server_crashed_[j] = false;
+  build_server(j, std::move(disk));
+  PLWG_INFO("world", "name server ", j, " restarted as incarnation ",
+            server_stores_[j].incarnation);
+}
+
+bool SimWorld::server_crashed(std::size_t j) const {
+  PLWG_ASSERT(j < servers_.size());
+  return server_crashed_[j];
 }
 
 void SimWorld::cut_wan() {

@@ -1,7 +1,7 @@
 // SimWorld: wires a complete simulated deployment — N application processes
 // (each a NodeRuntime + VsyncHost + NamingAgent + LwgService) plus M
 // dedicated name-server nodes on one simulated network — and exposes the
-// knobs the experiments turn: partitions, crashes, and time.
+// knobs the experiments turn: partitions, crashes, restarts, and time.
 //
 // Tests, benchmarks, and examples all build on this harness.
 #pragma once
@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "durable/store.hpp"
 #include "lwg/lwg_service.hpp"
 #include "names/naming_agent.hpp"
 #include "oracle/oracle.hpp"
@@ -84,6 +85,21 @@ class SimWorld {
   void heal();
   void crash(std::size_t i);
 
+  /// Resurrect a crashed process as a fresh incarnation on the same
+  /// NodeId/ProcessId: the full host stack is torn down and rebuilt, the
+  /// durable store (incarnation, id counters, joined-LWG list) survives,
+  /// and recovery replays the joins so the reborn LwgService re-resolves
+  /// and rejoins its LWGs through the naming service.
+  void restart(std::size_t i);
+  /// The process's crash–restart incarnation (0 until its first restart).
+  [[nodiscard]] std::uint32_t incarnation(std::size_t i) const;
+
+  /// Crash / resurrect a dedicated name server. The replica's database is
+  /// disk-backed: a restarted server reloads the mappings it had acked.
+  void crash_server(std::size_t j);
+  void restart_server(std::size_t j);
+  [[nodiscard]] bool server_crashed(std::size_t j) const;
+
   /// Cut the WAN: partition the world along its configured LAN segments
   /// (requires a multi-LAN WorldConfig::segments). heal() reconnects.
   void cut_wan();
@@ -104,6 +120,12 @@ class SimWorld {
 
  private:
   [[nodiscard]] oracle::ConvergenceSnapshot convergence_snapshot() const;
+  /// Build (or rebuild, on restart) process `i`'s host stack on its
+  /// existing runtime. `server_disk` seeds the naming replica in the
+  /// replicated-everywhere deployment.
+  void build_process(std::size_t i, names::Database server_disk = {});
+  /// Likewise for dedicated name server `j`.
+  void build_server(std::size_t j, names::Database disk = {});
 
   struct ProcessNode {
     std::unique_ptr<transport::NodeRuntime> runtime;
@@ -119,12 +141,21 @@ class SimWorld {
   WorldConfig config_;
   sim::Simulator sim_;
   std::unique_ptr<sim::Network> net_;
+  /// Per-process / per-server stable storage; declared before the nodes
+  /// (so it is destroyed after them) because it is exactly the state that
+  /// must outlive a node's teardown.
+  std::vector<durable::ProcessStore> stores_;
+  std::vector<durable::ProcessStore> server_stores_;
   /// Declared before the nodes so it is destroyed after them: hooks may
   /// still fire while nodes tear down.
   std::unique_ptr<oracle::ProtocolOracle> oracle_;
   std::vector<ProcessNode> processes_;
   std::vector<ServerNode> servers_;
+  /// All name-server nodes in creation order (client fail-over lists are
+  /// rotations of this); stable across restarts.
+  std::vector<NodeId> server_nodes_;
   std::vector<bool> crashed_;
+  std::vector<bool> server_crashed_;
 };
 
 }  // namespace plwg::harness

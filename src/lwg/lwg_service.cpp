@@ -11,8 +11,8 @@
 namespace plwg::lwg {
 
 LwgService::LwgService(vsync::VsyncHost& vsync, names::NamingAgent& names,
-                       LwgConfig config)
-    : vsync_(vsync), names_(names), config_(config) {
+                       LwgConfig config, durable::ProcessStore* store)
+    : vsync_(vsync), names_(names), config_(config), store_(store) {
   names_.set_conflict_listener(this);
   last_policy_run_ = vsync_.node().now();
   vsync_.node().after(config_.tick_us, [this] { tick(); });
@@ -22,6 +22,7 @@ LwgService::~LwgService() { names_.set_conflict_listener(nullptr); }
 
 void LwgService::join(LwgId lwg, LwgUser& user) {
   PLWG_ASSERT_MSG(!groups_.contains(lwg), "already joined this LWG");
+  if (store_ != nullptr) store_->lwg_registrations[lwg] = &user;
   LocalGroup lg;
   lg.lwg = lwg;
   lg.user = &user;
@@ -33,6 +34,9 @@ void LwgService::join(LwgId lwg, LwgUser& user) {
 void LwgService::leave(LwgId lwg) {
   LocalGroup* lg = find_group(lwg);
   if (lg == nullptr) return;
+  // A deliberate leave is struck from the restart script immediately: if we
+  // crash mid-departure, recovery must not rejoin on our behalf.
+  if (store_ != nullptr) store_->lwg_registrations.erase(lwg);
   if (!lg->has_view) {
     // Not yet a visible member anywhere: just abandon the join attempt.
     groups_.erase(lwg);
@@ -121,9 +125,7 @@ void LwgService::send_lwg_msg(HwgId hwg, LwgMsgType type,
   vsync_.send(hwg, packet.take());
 }
 
-ViewId LwgService::mint_view_id() {
-  return ViewId{self(), ++lwg_view_counter_};
-}
+ViewId LwgService::mint_view_id() { return ViewId{self(), ++view_counter()}; }
 
 void LwgService::note_lwg_reset([[maybe_unused]] LwgId lwg) {
   PLWG_OBSERVE(observer_, on_lwg_epoch_reset(self(), lwg));
@@ -165,7 +167,7 @@ void LwgService::install_lwg_view(LocalGroup& lg, const LwgView& view,
   // Keep locally-minted ids unique even after adopting a deterministically
   // computed merged view id that used our pid.
   if (view.id.coordinator == self()) {
-    lwg_view_counter_ = std::max(lwg_view_counter_, view.id.seq);
+    view_counter() = std::max(view_counter(), view.id.seq);
   }
   // A pending leave survives intermediate views (others may be removed
   // first); we stay kLeaving until a view excludes us.

@@ -34,6 +34,7 @@
 #include <set>
 #include <vector>
 
+#include "durable/store.hpp"
 #include "lwg/config.hpp"
 #include "lwg/lwg_user.hpp"
 #include "lwg/lwg_view.hpp"
@@ -64,8 +65,11 @@ class LwgService : public GroupService,
     std::uint64_t hwgs_left = 0;        // shrink rule departures
   };
 
+  /// `store`, when given, persists the view-id counter and the set of
+  /// joined LWGs across a crash–restart of this process (see
+  /// durable/store.hpp). May be null for tests that never restart.
   LwgService(vsync::VsyncHost& vsync, names::NamingAgent& names,
-             LwgConfig config);
+             LwgConfig config, durable::ProcessStore* store = nullptr);
   ~LwgService() override;
   LwgService(const LwgService&) = delete;
   LwgService& operator=(const LwgService&) = delete;
@@ -187,6 +191,11 @@ class LwgService : public GroupService,
     return body_scratch_;
   }
   [[nodiscard]] ViewId mint_view_id();
+  /// The view-id counter: the durable store's copy when one is attached
+  /// (it must survive restart — see durable/store.hpp), else the member.
+  [[nodiscard]] std::uint32_t& view_counter() {
+    return store_ != nullptr ? store_->lwg_view_counter : lwg_view_counter_;
+  }
   /// Tell the oracle this process's delivery epoch for `lwg` ended (view
   /// dropped without a successor: leave, re-resolve, lost endpoint, or
   /// knowingly skipped history). A later view must not pair with the old.
@@ -204,7 +213,10 @@ class LwgService : public GroupService,
   // -- lwg_service_map.cpp: mapping, joins, switching, reconciliation --
   void resolve_mapping(LwgId lwg);
   void on_mapping_read(LwgId lwg, const std::vector<names::MappingEntry>& entries);
-  void establish_new_mapping(LocalGroup& lg);
+  /// Claim a fresh mapping for `lg`. With `force`, skip the testset and
+  /// overwrite the naming-service row outright — used when the alive row is
+  /// a corpse that a testset could never beat (see adopt_mapping).
+  void establish_new_mapping(LocalGroup& lg, bool force = false);
   void adopt_mapping(LocalGroup& lg, const names::MappingEntry& entry);
   void announce_join(LocalGroup& lg);
   void start_switch(LocalGroup& lg, HwgId to_hwg, const MemberSet& contacts);
@@ -242,6 +254,7 @@ class LwgService : public GroupService,
   Encoder body_scratch_;
   names::NamingAgent& names_;
   LwgConfig config_;
+  durable::ProcessStore* store_ = nullptr;  // not owned; may be null
   std::map<LwgId, LocalGroup> groups_;
   std::map<HwgId, HwgState> hwgs_;
   /// A freshly allocated HWG id whose creation is deferred until a testset

@@ -52,7 +52,7 @@ void LwgService::on_mapping_read(
   }
 }
 
-void LwgService::establish_new_mapping(LocalGroup& lg) {
+void LwgService::establish_new_mapping(LocalGroup& lg, bool force) {
   // Optimistic initial mapping (paper Sect. 3.2): assume the new LWG will
   // resemble an existing one, so put it on an HWG we already belong to —
   // the smallest one (least interference), ties broken by highest gid.
@@ -114,6 +114,23 @@ void LwgService::establish_new_mapping(LocalGroup& lg) {
   provisional.members = MemberSet{self()};
   provisional.hwg = target;
   lg.view = provisional;  // staged so make_entry sees it; has_view still false
+  if (force) {
+    // The alive record is a corpse: every contact it lists is a dead
+    // incarnation of ourselves, so a testset would keep resurrecting it and
+    // adopt_mapping would bounce us back here forever. Found the group anew
+    // and overwrite the row, superseding the views the corpse listed
+    // (genealogy GC retires them); install_lwg_view registers the new row
+    // because we coordinate the provisional view.
+    std::vector<ViewId> preds = lg.stale_views;
+    lg.stale_views.clear();
+    if (!vsync_.is_member(target)) {
+      vsync_.create_group(target, *this);
+      stats_.hwgs_created++;
+      if (provisional_hwg_ == target) provisional_hwg_.reset();
+    }
+    install_lwg_view(lg, lg.view, preds);
+    return;
+  }
   names::MappingEntry entry = make_entry(lg, ++lg.ns_stamp);
   names_.testset(
       lg.lwg, entry,
@@ -163,9 +180,11 @@ void LwgService::adopt_mapping(LocalGroup& lg,
     return;
   }
   if (lg.contacts.empty()) {
-    // A mapping with no one to contact (e.g. a dissolved group's tombstone):
-    // start over with a fresh mapping.
-    establish_new_mapping(lg);
+    // A mapping with no one to contact: either a dissolved group's tombstone
+    // or — after a crash–restart — a corpse row whose only members are our
+    // own dead incarnation. The row is alive, so a plain testset would lose
+    // to it; force the claim.
+    establish_new_mapping(lg, /*force=*/true);
     return;
   }
   set_phase(lg, Phase::kJoiningHwg);
@@ -199,9 +218,25 @@ void LwgService::handle_join(HwgId gid, const JoinMsg& msg) {
   }
   if (lg->view.members.contains(msg.joiner) &&
       !lg->pending_remove.contains(msg.joiner)) {
-    if (lg->view.coordinator() == self()) {
-      // Duplicate announce: re-publish the current view for the joiner.
-      ViewMsg vm{lg->lwg, lg->view, {}};
+    // The joiner is already listed: a duplicate announce, or a reborn
+    // incarnation that crashed and restarted before anyone suspected it.
+    // Re-publishing the current view would hand a reborn joiner a view the
+    // rest of us have delivered messages in (virtual-synchrony violation),
+    // so cut a fresh view with the same membership; both kinds of joiner
+    // install it as their first view. The actor is the smallest member
+    // *excluding the joiner* — the joiner may be the view's own
+    // coordinator, reborn with no state, and waiting for it would deadlock.
+    MemberSet others = lg->view.members;
+    others.erase(msg.joiner);
+    if (!others.empty() && others.min_member() == self() &&
+        !lg->inflight_view && !lg->switching && !lg->collect) {
+      LwgView view;
+      view.id = mint_view_id();
+      view.members = lg->view.members;
+      view.hwg = lg->hwg;
+      lg->inflight_view = view.id;
+      lg->inflight_since = vsync_.node().now();
+      ViewMsg vm{lg->lwg, view, {lg->view.id}};
       Encoder& body = scratch_body();
       vm.encode(body);
       send_lwg_msg(gid, LwgMsgType::kView, body);
@@ -296,8 +331,12 @@ void LwgService::handle_view(HwgId gid, const ViewMsg& msg) {
   if (!lg->has_view) {
     // Joiner: first view that includes us.
     if (lg->phase == Phase::kAnnounced || lg->phase == Phase::kJoiningHwg) {
-      const std::vector<ViewId> stale = std::move(lg->stale_views);
+      std::vector<ViewId> stale = std::move(lg->stale_views);
       lg->stale_views.clear();
+      // A reborn joiner's naming-service read may have returned the very
+      // view we are now installing; superseding it would GC the only alive
+      // row for the group.
+      std::erase(stale, view.id);
       std::vector<ViewId> preds = msg.predecessors;
       preds.insert(preds.end(), stale.begin(), stale.end());
       install_lwg_view(*lg, view, preds);

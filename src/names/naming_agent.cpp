@@ -14,10 +14,11 @@ NamingAgent::NamingAgent(transport::NodeRuntime& node, NamingConfig config,
 
 NamingAgent::~NamingAgent() = default;
 
-void NamingAgent::enable_server(std::vector<NodeId> peers) {
+void NamingAgent::enable_server(std::vector<NodeId> peers, Database db) {
   PLWG_ASSERT(!server_);
   ServerState state;
   state.peers = std::move(peers);
+  state.db = std::move(db);
   server_ = std::move(state);
 }
 

@@ -57,8 +57,11 @@ class NamingAgent : public transport::PortHandler {
               std::vector<NodeId> servers);
   ~NamingAgent() override;
 
-  /// Turn this node into a name server replicating with `peers`.
-  void enable_server(std::vector<NodeId> peers);
+  /// Turn this node into a name server replicating with `peers`. `db` seeds
+  /// the replica — a restarted server reloads its disk-backed database this
+  /// way instead of starting empty (anti-entropy would eventually refill it,
+  /// but a lone server has no peer to refill from).
+  void enable_server(std::vector<NodeId> peers, Database db = {});
   [[nodiscard]] bool is_server() const { return server_.has_value(); }
 
   // --- client API (paper Table 2) ---------------------------------------

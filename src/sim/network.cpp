@@ -85,7 +85,14 @@ void Network::multicast(NodeId from, std::span<const NodeId> dests,
         arrival += static_cast<Duration>(rng_.next_below(
             static_cast<std::uint64_t>(config_.jitter_us) + 1));
       }
-      deliver(from, to, shared, arrival);
+      auto payload = shared;
+      if (config_.corrupt_probability > 0 &&
+          rng_.next_bool(config_.corrupt_probability)) {
+        stats_.corruptions++;
+        payload = std::make_shared<const std::vector<std::uint8_t>>(
+            corrupt_copy(*shared));
+      }
+      deliver(from, to, std::move(payload), arrival);
     } else {
       remote_dests[receiver.segment].push_back(to);
     }
@@ -119,7 +126,14 @@ void Network::multicast(NodeId from, std::span<const NodeId> dests,
                 arrival += static_cast<Duration>(rng_.next_below(
                     static_cast<std::uint64_t>(config_.jitter_us) + 1));
               }
-              deliver(from, to, shared, arrival);
+              auto payload = shared;
+              if (config_.corrupt_probability > 0 &&
+                  rng_.next_bool(config_.corrupt_probability)) {
+                stats_.corruptions++;
+                payload = std::make_shared<const std::vector<std::uint8_t>>(
+                    corrupt_copy(*shared));
+              }
+              deliver(from, to, std::move(payload), arrival);
             }
           });
     }
@@ -164,20 +178,34 @@ void Network::unicast(NodeId from, NodeId to, std::vector<std::uint8_t> data) {
 void Network::deliver(NodeId from, NodeId to,
                       std::shared_ptr<const std::vector<std::uint8_t>> data,
                       Time arrival) {
+  // The packet is addressed to the destination's *current incarnation*; if
+  // the node crashes and restarts while the packet is in flight, the new
+  // incarnation must not receive it.
+  const std::uint32_t epoch = nodes_[to.value()].epoch;
   // Receiver CPU is a FIFO queue: processing starts when both the packet
   // has arrived and the CPU is free, and takes node_process_cost_us. The
   // CPU slot is claimed *at arrival* — claiming it at send time would let a
   // slow (e.g. cross-WAN) packet reserve the CPU into the future and starve
   // packets that arrive earlier.
-  sim_.schedule_at(arrival, [this, from, to, data = std::move(data)]() mutable {
+  sim_.schedule_at(arrival, [this, from, to, epoch,
+                             data = std::move(data)]() mutable {
     NodeState& receiver = nodes_[to.value()];
+    if (receiver.epoch != epoch) {
+      stats_.stale_epoch_drops++;
+      return;
+    }
+    if (receiver.crashed) return;  // dead incarnation: no CPU to occupy
     const Time start = std::max(sim_.now(), receiver.cpu_free_at);
     const Time done = start + config_.node_process_cost_us;
     receiver.cpu_free_at = done;
     // The buffer moves (not ref-bumps) through both hops: one multicast =
     // one encode = one shared buffer, refcounted once per destination.
-    sim_.schedule_at(done, [this, from, to, data = std::move(data)] {
+    sim_.schedule_at(done, [this, from, to, epoch, data = std::move(data)] {
       NodeState& r = nodes_[to.value()];
+      if (r.epoch != epoch) {
+        stats_.stale_epoch_drops++;
+        return;
+      }
       if (r.crashed) return;
       stats_.deliveries++;
       r.handler->on_packet(from, std::span<const std::uint8_t>(*data));
@@ -236,6 +264,39 @@ void Network::crash(NodeId n) {
 bool Network::crashed(NodeId n) const {
   PLWG_ASSERT(n.value() < nodes_.size());
   return nodes_[n.value()].crashed;
+}
+
+void Network::restart(NodeId n, NetHandler& handler) {
+  PLWG_ASSERT(n.value() < nodes_.size());
+  NodeState& node = nodes_[n.value()];
+  PLWG_ASSERT_MSG(node.crashed, "restart of a node that is not crashed");
+  node.crashed = false;
+  node.epoch++;
+  node.handler = &handler;
+  node.cpu_free_at = sim_.now();
+  PLWG_INFO("net", "node ", n, " restarted (epoch ", node.epoch, ")");
+}
+
+std::uint32_t Network::crash_epoch(NodeId n) const {
+  PLWG_ASSERT(n.value() < nodes_.size());
+  return nodes_[n.value()].epoch;
+}
+
+std::vector<std::uint8_t> Network::corrupt_copy(
+    const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> out = data;
+  if (out.empty()) return out;
+  if (rng_.next_bool(0.5)) {
+    // Truncation (possibly to an empty packet).
+    out.resize(rng_.next_below(out.size()));
+  } else {
+    const std::size_t flips = 1 + rng_.next_below(4);
+    for (std::size_t i = 0; i < flips; ++i) {
+      out[rng_.next_below(out.size())] ^=
+          static_cast<std::uint8_t>(1u << rng_.next_below(8));
+    }
+  }
+  return out;
 }
 
 void Network::charge_cpu(NodeId n, Duration cost_us) {

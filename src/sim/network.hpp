@@ -39,6 +39,10 @@ struct NetworkConfig {
   std::size_t header_bytes = 46;
   /// Probability a given delivery is dropped (per destination).
   double drop_probability = 0.0;
+  /// Probability a given delivery is corrupted in transit (per destination):
+  /// the receiver gets a copy with random bit flips or a truncated tail.
+  /// Exercises the frame-demux hardening; parsers must reject, not crash.
+  double corrupt_probability = 0.0;
   /// Extra uniform delivery jitter in [0, jitter_us].
   Duration jitter_us = 0;
   /// When false, the bus queue is skipped: packets only pay propagation and
@@ -69,6 +73,8 @@ struct NetworkStats {
   std::uint64_t bytes_sent = 0;        // payload bytes transmitted
   std::uint64_t bytes_on_wire = 0;     // payload + headers
   std::uint64_t drops = 0;
+  std::uint64_t corruptions = 0;       // deliveries mutated in transit
+  std::uint64_t stale_epoch_drops = 0; // packets addressed to a dead incarnation
   Duration bus_busy_us = 0;            // accumulated transmission time
 };
 
@@ -111,10 +117,19 @@ class Network {
   [[nodiscard]] bool reachable(NodeId a, NodeId b) const;
   [[nodiscard]] int partition_of(NodeId n) const;
 
-  // --- crashes ----------------------------------------------------------
-  /// Crash a node: it no longer sends or receives. Permanent.
+  // --- crashes & restarts -----------------------------------------------
+  /// Crash a node: it no longer sends or receives, until restart().
   void crash(NodeId n);
   [[nodiscard]] bool crashed(NodeId n) const;
+
+  /// Resurrect a crashed node as a fresh incarnation bound to `handler`
+  /// (the rebuilt host stack). The node's crash epoch advances, so packets
+  /// that were still in flight toward the dead incarnation are silently
+  /// dropped instead of being delivered to its successor; its receive-CPU
+  /// queue restarts empty.
+  void restart(NodeId n, NetHandler& handler);
+  /// How many times `n` has been restarted (0 for the first incarnation).
+  [[nodiscard]] std::uint32_t crash_epoch(NodeId n) const;
 
   /// Charge protocol-processing time to a node's CPU: subsequent packet
   /// deliveries at that node queue behind it. Models expensive per-message
@@ -134,8 +149,14 @@ class Network {
     int partition = 0;
     int segment = 0;
     bool crashed = false;
-    Time cpu_free_at = 0;  // receiver CPU queue
+    std::uint32_t epoch = 0;  // bumped by restart(); stale packets die
+    Time cpu_free_at = 0;     // receiver CPU queue
   };
+
+  /// Return a corrupted copy of `data`: a truncated prefix or a few random
+  /// bit flips, chosen by the fault RNG.
+  [[nodiscard]] std::vector<std::uint8_t> corrupt_copy(
+      const std::vector<std::uint8_t>& data);
 
   [[nodiscard]] Duration transmission_time(std::size_t payload_bytes,
                                            double bandwidth_bps) const;

@@ -5,8 +5,49 @@
 
 namespace plwg::transport {
 
+namespace {
+
+/// FNV-1a over the frame's protected bytes (port + incarnation + payload).
+/// Cheap, order-sensitive, and catches both bit flips and truncation.
+std::uint32_t frame_checksum(std::uint8_t port, std::uint32_t incarnation,
+                             std::span<const std::uint8_t> payload) {
+  std::uint32_t h = 2166136261u;
+  auto mix = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 16777619u;
+  };
+  mix(port);
+  for (int i = 0; i < 4; ++i) {
+    mix(static_cast<std::uint8_t>(incarnation >> (8 * i)));
+  }
+  for (std::uint8_t b : payload) mix(b);
+  return h;
+}
+
+void put_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32_le(std::span<const std::uint8_t> in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
 NodeRuntime::NodeRuntime(sim::Network& net)
     : net_(net), id_(net.add_node(*this)) {}
+
+NodeRuntime::NodeRuntime(sim::Network& net, NodeId reuse,
+                         std::uint32_t incarnation)
+    : net_(net), id_(reuse), incarnation_(incarnation) {
+  net_.restart(reuse, *this);
+}
 
 void NodeRuntime::register_port(Port port, PortHandler& handler) {
   const auto idx = static_cast<std::size_t>(port);
@@ -18,8 +59,11 @@ void NodeRuntime::register_port(Port port, PortHandler& handler) {
 std::vector<std::uint8_t> NodeRuntime::frame(Port port,
                                              const Encoder& payload) const {
   std::vector<std::uint8_t> packet;
-  packet.reserve(payload.size() + 1);
-  packet.push_back(static_cast<std::uint8_t>(port));
+  packet.reserve(payload.size() + kFrameHeaderBytes);
+  const auto port_byte = static_cast<std::uint8_t>(port);
+  packet.push_back(port_byte);
+  put_u32_le(packet, incarnation_);
+  put_u32_le(packet, frame_checksum(port_byte, incarnation_, payload.bytes()));
   packet.insert(packet.end(), payload.bytes().begin(), payload.bytes().end());
   return packet;
 }
@@ -42,19 +86,46 @@ void NodeRuntime::multicast(Port port, std::span<const ProcessId> dests,
 }
 
 void NodeRuntime::on_packet(NodeId from, std::span<const std::uint8_t> data) {
-  if (data.empty()) {
-    PLWG_WARN("transport", "empty packet from node ", from);
+  if (data.size() < kFrameHeaderBytes) {
+    stats_.malformed_frames++;
+    PLWG_WARN("transport", "short frame (", data.size(), "B) from node ",
+              from);
     return;
   }
-  const auto idx = static_cast<std::size_t>(data[0]);
+  const std::uint8_t port_byte = data[0];
+  const std::uint32_t incarnation = get_u32_le(data.subspan(1, 4));
+  const std::uint32_t checksum = get_u32_le(data.subspan(5, 4));
+  const std::span<const std::uint8_t> payload =
+      data.subspan(kFrameHeaderBytes);
+  if (frame_checksum(port_byte, incarnation, payload) != checksum) {
+    // Corrupted in transit: refuse before the incarnation or port fields
+    // can poison any state. Corruption degrades to loss.
+    stats_.malformed_frames++;
+    PLWG_WARN("transport", "bad checksum on frame from node ", from);
+    return;
+  }
+  if (from.value() >= peer_incarnation_.size()) {
+    peer_incarnation_.resize(from.value() + 1, 0);
+  }
+  std::uint32_t& known = peer_incarnation_[from.value()];
+  if (incarnation < known) {
+    stats_.stale_incarnation_drops++;
+    PLWG_DEBUG("transport", "ghost frame from node ", from, " incarnation ",
+               incarnation, " (now ", known, ")");
+    return;
+  }
+  known = incarnation;
+  const auto idx = static_cast<std::size_t>(port_byte);
   if (idx >= kPortCount || handlers_[idx] == nullptr) {
+    stats_.unbound_port_drops++;
     PLWG_WARN("transport", "packet for unbound port ", idx, " from ", from);
     return;
   }
-  Decoder dec(data.subspan(1));
+  Decoder dec(payload);
   try {
     handlers_[idx]->on_message(from, dec);
   } catch (const CodecError& e) {
+    stats_.decode_errors++;
     PLWG_ERROR("transport", "malformed packet from ", from, ": ", e.what());
   }
 }

@@ -2,8 +2,14 @@
 // packets to the services running on the host (vsync stack, naming service,
 // application), and provides timer conveniences.
 //
-// Wire format of every packet: [u8 port][payload...]. Each service parses
-// its own payload with the bounds-checked Decoder.
+// Wire format of every packet:
+//   [u8 port][u32 incarnation][u32 checksum][payload...]
+// `incarnation` is the sender's crash-restart incarnation: a receiver that
+// has heard a newer incarnation of the same node drops the frame, so a
+// restarted node's ghosts cannot reanimate old protocol state at its peers.
+// `checksum` (FNV-1a over port + incarnation + payload) turns in-transit
+// corruption into plain loss before it can poison the demux or a parser.
+// Each service parses its own payload with the bounds-checked Decoder.
 #pragma once
 
 #include <array>
@@ -41,13 +47,32 @@ class PortHandler {
 }
 [[nodiscard]] constexpr NodeId node_of(ProcessId p) { return NodeId{p.value()}; }
 
+/// Size of the frame header preceding every service payload.
+inline constexpr std::size_t kFrameHeaderBytes = 9;
+
 class NodeRuntime : public sim::NetHandler {
  public:
+  /// Counters for inbound frames the demux refused. Hostile or corrupted
+  /// input must never assert or throw past this layer — it is counted and
+  /// dropped.
+  struct Stats {
+    std::uint64_t malformed_frames = 0;          // short frame / bad checksum
+    std::uint64_t stale_incarnation_drops = 0;   // ghost of a restarted peer
+    std::uint64_t unbound_port_drops = 0;
+    std::uint64_t decode_errors = 0;             // service rejected payload
+  };
+
   explicit NodeRuntime(sim::Network& net);
+  /// Rebind a rebuilt host stack to an existing (crashed) node as a fresh
+  /// incarnation: the node revives with the same NodeId, and every frame it
+  /// sends from now on is tagged with `incarnation`.
+  NodeRuntime(sim::Network& net, NodeId reuse, std::uint32_t incarnation);
   NodeRuntime(const NodeRuntime&) = delete;
   NodeRuntime& operator=(const NodeRuntime&) = delete;
 
   [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] std::uint32_t incarnation() const { return incarnation_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] ProcessId process_id() const { return process_of(id_); }
   [[nodiscard]] sim::Network& network() { return net_; }
   [[nodiscard]] sim::Simulator& simulator() { return net_.simulator(); }
@@ -63,15 +88,22 @@ class NodeRuntime : public sim::NetHandler {
                  const Encoder& payload);
 
   /// Schedule a callback on this host after `delay`; no-op if the host has
-  /// crashed by the time it fires. Templated (rather than taking a
-  /// type-erased callable) so the crash-check wrapper and the user's
-  /// capture land in the simulator slot as ONE flat closure — nesting an
-  /// erased callable inside the wrapper would always spill to the heap.
+  /// crashed — or crashed and restarted as a new incarnation — by the time
+  /// it fires. The guard captures the network and the scheduling
+  /// incarnation's crash epoch *by value*, never `this`: once the node
+  /// restarts, the whole host stack (including this runtime and whatever
+  /// `fn` points into) is destroyed, so the epoch check is the only thing
+  /// keeping a stale timer from dereferencing freed objects. Templated
+  /// (rather than taking a type-erased callable) so the wrapper and the
+  /// user's capture land in the simulator slot as ONE flat closure —
+  /// nesting an erased callable inside the wrapper would always spill to
+  /// the heap.
   template <class F>
   sim::TimerId after(Duration delay, F&& fn) {
     return simulator().schedule_after(
-        delay, [this, fn = std::forward<F>(fn)]() mutable {
-          if (net_.crashed(id_)) return;
+        delay, [net = &net_, id = id_, epoch = net_.crash_epoch(id_),
+                fn = std::forward<F>(fn)]() mutable {
+          if (net->crashed(id) || net->crash_epoch(id) != epoch) return;
           fn();
         });
   }
@@ -86,8 +118,13 @@ class NodeRuntime : public sim::NetHandler {
 
   sim::Network& net_;
   NodeId id_;
+  std::uint32_t incarnation_ = 0;
   std::array<PortHandler*, kPortCount> handlers_{};
   std::vector<NodeId> dest_scratch_;  // reused by the ProcessId multicast
+  /// Highest incarnation heard per peer node (indexed by NodeId value);
+  /// frames from lower incarnations are stale ghosts and are dropped.
+  std::vector<std::uint32_t> peer_incarnation_;
+  Stats stats_;
 };
 
 }  // namespace plwg::transport

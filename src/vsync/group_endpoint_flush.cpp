@@ -25,13 +25,18 @@ void GroupEndpoint::send_join_req() {
 
 void GroupEndpoint::on_join_req(const JoinReqMsg& msg) {
   if (!has_view_) return;
-  if (view_.members.contains(msg.joiner)) {
-    // The joiner is already in the view but evidently missed the NEW_VIEW:
-    // re-send it.
-    Encoder& body = scratch_body();
-    NewViewMsg{view_, MemberSet{}}.encode(body);
-    unicast(msg.joiner, MsgType::kNewView, body);
-    return;
+  if (msg.joiner != self() && view_.members.contains(msg.joiner)) {
+    // A JOIN_REQ only ever comes from a state-less endpoint, so a listed
+    // member asking to join has lost its endpoint state: it crashed and
+    // restarted before anyone suspected it. Re-sending the NEW_VIEW would
+    // graft a fresh endpoint onto a view whose delivery cut its previous
+    // incarnation confirmed — the backlog retransmission would replay
+    // messages the old incarnation already consumed. Vacate the dead seat
+    // instead; the new incarnation is re-admitted by the next view change.
+    // Every member records the suspicion so acting-coordinator selection
+    // skips the dead seat even when the reborn process *was* the
+    // coordinator.
+    suspected_.insert(msg.joiner);
   }
   if (!is_acting_coordinator()) {
     Encoder& body = scratch_body();
@@ -41,8 +46,8 @@ void GroupEndpoint::on_join_req(const JoinReqMsg& msg) {
   }
   if (pending_joiners_.insert(msg.joiner)) {
     departed_.erase(msg.joiner);
-    schedule_view_change();
   }
+  schedule_view_change();
 }
 
 void GroupEndpoint::on_leave_req(const LeaveReqMsg& msg) {

@@ -11,8 +11,9 @@ namespace {
 constexpr Duration kTickUs = 50'000;
 }  // namespace
 
-VsyncHost::VsyncHost(transport::NodeRuntime& node, VsyncConfig config)
-    : node_(node), config_(config) {
+VsyncHost::VsyncHost(transport::NodeRuntime& node, VsyncConfig config,
+                     durable::ProcessStore* store)
+    : node_(node), config_(config), store_(store) {
   node_.register_port(transport::Port::kVsync, *this);
   node_.after(kTickUs, [this] { tick(); });
 }
@@ -44,7 +45,9 @@ void VsyncHost::sweep_defunct() {
 }
 
 HwgId VsyncHost::allocate_group_id() {
-  return make_hwg_id(self(), next_group_counter_++);
+  std::uint32_t& counter =
+      store_ != nullptr ? store_->hwg_group_counter : next_group_counter_;
+  return make_hwg_id(self(), counter++);
 }
 
 void VsyncHost::create_group(HwgId gid, GroupUser& user) {

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "durable/store.hpp"
 #include "transport/node_runtime.hpp"
 #include "util/types.hpp"
 #include "vsync/config.hpp"
@@ -26,7 +27,12 @@ namespace plwg::vsync {
 
 class VsyncHost : public transport::PortHandler {
  public:
-  VsyncHost(transport::NodeRuntime& node, VsyncConfig config);
+  /// `store`, when given, backs the view-seq and group-id counters so they
+  /// survive a crash–restart of this process (see durable/store.hpp for why
+  /// letting them die with the host is unsafe). May be null: tests that
+  /// never restart a host can run purely in-memory.
+  VsyncHost(transport::NodeRuntime& node, VsyncConfig config,
+            durable::ProcessStore* store = nullptr);
   ~VsyncHost() override;
   VsyncHost(const VsyncHost&) = delete;
   VsyncHost& operator=(const VsyncHost&) = delete;
@@ -71,8 +77,13 @@ class VsyncHost : public transport::PortHandler {
   /// later rejoins it never reuses a (coordinator, seq) view id it already
   /// minted; stale packets tagged with a recycled id must stay stale.
   [[nodiscard]] std::uint32_t mint_view_seq(HwgId gid) {
-    return ++view_seqs_[gid];
+    return ++(store_ != nullptr ? store_->hwg_view_seqs : view_seqs_)[gid];
   }
+
+  /// Protocol observer (the cross-node oracle) epoch hooks fire through the
+  /// endpoints; exposed so a full-host teardown (process restart) can close
+  /// every endpoint's delivery epoch first.
+  [[nodiscard]] const auto& endpoints() const { return endpoints_; }
 
   // transport::PortHandler
   void on_message(NodeId from, Decoder& dec) override;
@@ -85,10 +96,13 @@ class VsyncHost : public transport::PortHandler {
 
   transport::NodeRuntime& node_;
   VsyncConfig config_;
-  VsyncObserver* observer_ = nullptr;  // not owned
+  durable::ProcessStore* store_ = nullptr;  // not owned; may be null
+  VsyncObserver* observer_ = nullptr;       // not owned
   std::unordered_map<HwgId, std::unique_ptr<GroupEndpoint>> endpoints_;
   /// Per-group view-sequence counters (see mint_view_seq); survives
-  /// endpoint teardown and recreation.
+  /// endpoint teardown and recreation. In-memory fallback — when a durable
+  /// store is attached the counters live there instead, so they also
+  /// survive a restart of the whole host.
   std::unordered_map<HwgId, std::uint32_t> view_seqs_;
   std::uint32_t next_group_counter_ = 1;
   bool dispatching_ = false;

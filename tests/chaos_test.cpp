@@ -78,6 +78,46 @@ TEST_P(ChaosSoakTest, CrashAndPartitionChaosConvergesToSurvivors) {
       << "seed " << GetParam() << " survivors " << survivors.to_string();
 }
 
+TEST_P(ChaosSoakTest, CrashRestartCyclesConvergeAfterQuiesce) {
+  harness::WorldConfig cfg;
+  cfg.num_processes = 5;
+  cfg.num_name_servers = 2;
+  cfg.net.seed = GetParam() ^ 0xf00d;
+  build(cfg);
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2, 3, 4});
+
+  harness::ChaosConfig chaos_cfg;
+  chaos_cfg.seed = GetParam() ^ 0xcafe;
+  chaos_cfg.mean_interval_us = 4'000'000;
+  chaos_cfg.mean_partition_us = 3'000'000;
+  chaos_cfg.crash_probability = 0.5;
+  chaos_cfg.max_crashes = 2;
+  chaos_cfg.restart_probability = 1.0;  // every crash comes back
+  chaos_cfg.mean_downtime_us = 2'000'000;
+  harness::ChaosMonkey chaos(world(), chaos_cfg);
+  chaos.run_for(90'000'000);
+  chaos.quiesce();
+  EXPECT_EQ(chaos.restarts_fired(), chaos.crashes_injected());
+  EXPECT_TRUE(chaos.crashed().empty());
+  for (const harness::RestartEvent& ev : chaos.restart_log()) {
+    EXPECT_GT(ev.restarted_at, ev.crashed_at);
+  }
+
+  // Everyone was promised back, so the FULL group must re-converge.
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1, 2, 3, 4},
+                             members_of({0, 1, 2, 3, 4}));
+      },
+      300'000'000))
+      << "seed " << GetParam();
+  const auto before = user(4).total_delivered(id);
+  lwg(0).send(id, payload(1));
+  EXPECT_TRUE(run_until(
+      [&] { return user(4).total_delivered(id) > before; }, 30'000'000));
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakTest,
                          ::testing::Values(71, 72, 73, 74, 75, 76));
 

@@ -5,13 +5,38 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "harness/world.hpp"
 
 namespace plwg::lwg::testing {
+
+/// If PLWG_ORACLE_REPORT_DIR is set, write the oracle's JSON report there,
+/// named after the running test — CI uploads the directory as an artifact
+/// when a run fails, so violation traces survive the ephemeral runner.
+inline void maybe_write_oracle_report(oracle::ProtocolOracle& o) {
+  const char* dir = std::getenv("PLWG_ORACLE_REPORT_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string name = info == nullptr
+                         ? std::string("unknown")
+                         : std::string(info->test_suite_name()) + "-" +
+                               info->name();
+  for (char& c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-' &&
+        c != '_') {
+      c = '_';
+    }
+  }
+  std::ofstream out(std::string(dir) + "/" + name + ".json");
+  out << o.report_json();
+}
 
 class RecordingLwgUser : public LwgUser {
  public:
@@ -56,6 +81,7 @@ class LwgFixture : public ::testing::Test {
   void TearDown() override {
     if (world_ && world_->oracle_enabled()) {
       oracle::ProtocolOracle& o = world_->oracle();
+      if (!o.clean()) maybe_write_oracle_report(o);
       EXPECT_TRUE(o.clean()) << o.report_json();
       // Acknowledge: a failing test reports through gtest, not through the
       // SimWorld destructor's abort backstop.

@@ -1,8 +1,9 @@
 // Seed-sweep soak with the oracle as the only judge: run ChaosMonkey over
-// randomized worlds, heal, wait for convergence, and require a clean
-// oracle report for every seed. The CI default covers a small seed range;
-// set PLWG_SWEEP_SEEDS (count) and PLWG_SWEEP_FIRST (start) for the full
-// 1,000-seed campaign recorded in EXPERIMENTS.md:
+// randomized worlds — partitions, crashes and crash–restart cycles — heal,
+// wait for convergence, and require a clean oracle report for every seed.
+// The CI default covers a small seed range; set PLWG_SWEEP_SEEDS (count)
+// and PLWG_SWEEP_FIRST (start) for the full 1,000-seed campaign recorded
+// in EXPERIMENTS.md, and PLWG_SWEEP_RESTARTS=0 to make crashes permanent:
 //
 //   PLWG_SWEEP_SEEDS=1000 ./build/tests/test_oracle --gtest_filter='*ChaosSweep*'
 #include <gtest/gtest.h>
@@ -50,6 +51,12 @@ class OracleChaosSweepTest : public LwgFixture {
     if (seed % 3 == 0) {
       chaos_cfg.crash_probability = 0.25;
       chaos_cfg.max_crashes = (n - 1) / 2;
+      // Crash–restart cycles ride the same seeds; PLWG_SWEEP_RESTARTS=0
+      // recovers the crashes-are-permanent sweep.
+      if (env_u64("PLWG_SWEEP_RESTARTS", 1) != 0) {
+        chaos_cfg.restart_probability = 0.7;
+        chaos_cfg.mean_downtime_us = 2'000'000;
+      }
     }
     harness::ChaosMonkey chaos(world(), chaos_cfg);
     chaos.run_for(45'000'000);
@@ -67,6 +74,7 @@ class OracleChaosSweepTest : public LwgFixture {
 
     if (world().oracle_enabled()) {
       oracle::ProtocolOracle& o = world().oracle();
+      if (!o.clean()) maybe_write_oracle_report(o);
       EXPECT_TRUE(o.clean())
           << "seed " << seed << ": " << o.report_json();
       o.clear();  // report via gtest, not the destructor backstop

@@ -1,0 +1,226 @@
+// Crash–restart recovery through the whole stack: a restarted process (or
+// name server) comes back as a fresh incarnation on the same NodeId, replays
+// its durable restart script, and must re-converge with the survivors — with
+// the protocol oracle watching every step. Includes the "worst moment"
+// restarts: an HWG coordinator mid-flush, an LWG coordinator mid-merge, a
+// name server mid-anti-entropy.
+#include <gtest/gtest.h>
+
+#include "harness/world.hpp"
+#include "lwg_fixture.hpp"
+
+namespace plwg::lwg::testing {
+namespace {
+
+class RestartTest : public LwgFixture {
+ protected:
+  harness::WorldConfig base_config(std::size_t procs,
+                                   std::size_t servers = 1) {
+    harness::WorldConfig cfg;
+    cfg.num_processes = procs;
+    cfg.num_name_servers = servers;
+    return cfg;
+  }
+
+  /// Index of the current LWG coordinator as seen by alive process `i`.
+  std::size_t coordinator_index(LwgId id, std::size_t i) {
+    const LwgView* v = lwg(i).view_of(id);
+    EXPECT_NE(v, nullptr);
+    return v->coordinator().value();  // pid value == process index
+  }
+
+  bool all_converged(LwgId id, std::size_t n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    MemberSet members;
+    for (std::size_t i = 0; i < n; ++i) members.insert(pid(i));
+    return lwg_converged(id, all, members);
+  }
+};
+
+TEST_F(RestartTest, RestartedProcessRejoinsItsLwg) {
+  build(base_config(3));
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2});
+
+  world().crash(2);
+  ASSERT_TRUE(run_until(
+      [&] { return lwg_converged(id, {0, 1}, members_of({0, 1})); },
+      120'000'000));
+
+  world().restart(2);
+  EXPECT_EQ(world().incarnation(2), 1u);
+  ASSERT_TRUE(run_until([&] { return all_converged(id, 3); }, 300'000'000));
+
+  // The reunited group carries traffic end to end.
+  const auto before = user(2).total_delivered(id);
+  lwg(0).send(id, payload(1));
+  EXPECT_TRUE(run_until(
+      [&] { return user(2).total_delivered(id) > before; }, 30'000'000));
+  EXPECT_TRUE(world().verify_convergence()) << world().convergence_failure();
+}
+
+TEST_F(RestartTest, ImmediateRestartBeforeSuspicion) {
+  // The nastiest interleaving: the process is reborn before any peer
+  // suspects the old incarnation, so the group still lists it as a member
+  // while its ghost frames may still be in flight.
+  build(base_config(3));
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2});
+  lwg(0).send(id, payload(1));
+  run_for(50'000);
+
+  world().crash(1);
+  world().restart(1);  // same simulated instant: downtime ~0
+  ASSERT_TRUE(run_until([&] { return all_converged(id, 3); }, 300'000'000));
+  lwg(1).send(id, payload(2));
+  EXPECT_TRUE(run_until(
+      [&] { return user(0).total_delivered(id) >= 2; }, 30'000'000));
+  ASSERT_TRUE(run_until(
+      [&] { return world().convergence_failure().empty(); }, 300'000'000))
+      << world().convergence_failure();
+  EXPECT_TRUE(world().verify_convergence());
+}
+
+TEST_F(RestartTest, SoleMemberRestartRecreatesItsGroup) {
+  // The naming service still maps the LWG onto an HWG whose only member
+  // died; the reborn process must give up on the corpse HWG and re-map.
+  build(base_config(2));
+  const LwgId id{7};
+  form_lwg(id, {0});
+
+  world().crash(0);
+  run_for(1'000'000);
+  world().restart(0);
+  ASSERT_TRUE(run_until(
+      [&] { return lwg_converged(id, {0}, members_of({0})); }, 300'000'000));
+
+  // A late joiner finds the reborn group, not the corpse.
+  lwg(1).join(id, user(1));
+  ASSERT_TRUE(run_until(
+      [&] { return lwg_converged(id, {0, 1}, members_of({0, 1})); },
+      300'000'000));
+  EXPECT_TRUE(world().verify_convergence()) << world().convergence_failure();
+}
+
+TEST_F(RestartTest, HwgCoordinatorRestartMidFlush) {
+  build(base_config(4));
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2, 3});
+
+  // Kick off a flush on the underlying HWG and kill its coordinator while
+  // the flush round-trips are in the air.
+  const auto hwg = lwg(0).hwg_of(id);
+  ASSERT_TRUE(hwg.has_value());
+  const std::size_t coord = coordinator_index(id, 0);
+  world().vsync(coord).force_flush(*hwg);
+  run_for(1'000);  // flush request sent, cut not yet collected
+  world().crash(coord);
+  run_for(2'000'000);
+  world().restart(coord);
+
+  ASSERT_TRUE(run_until([&] { return all_converged(id, 4); }, 300'000'000));
+  lwg(coord).send(id, payload(3));
+  EXPECT_TRUE(run_until(
+      [&] { return user((coord + 1) % 4).total_delivered(id) >= 1; },
+      30'000'000));
+  EXPECT_TRUE(world().verify_convergence()) << world().convergence_failure();
+}
+
+TEST_F(RestartTest, LwgCoordinatorRestartMidMergeViews) {
+  build(base_config(4, 2));
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2, 3});
+
+  // Split, let both sides re-form concurrent views, then heal and kill the
+  // coordinator of one side while the Fig. 5 merge machinery is running.
+  world().partition({{0, 1}, {2, 3}}, {0, 1});
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1}, members_of({0, 1})) &&
+               lwg_converged(id, {2, 3}, members_of({2, 3}));
+      },
+      300'000'000));
+  world().heal();
+  run_for(1'500'000);  // reconciliation / merge-views in flight
+  const std::size_t coord = coordinator_index(id, 0);
+  world().crash(coord);
+  run_for(3'000'000);
+  world().restart(coord);
+
+  ASSERT_TRUE(run_until([&] { return all_converged(id, 4); }, 300'000'000));
+  // The view settles before the naming service does: give anti-entropy time
+  // to retire the superseded rows on every replica.
+  ASSERT_TRUE(run_until(
+      [&] { return world().convergence_failure().empty(); }, 300'000'000))
+      << world().convergence_failure();
+  EXPECT_TRUE(world().verify_convergence());
+}
+
+TEST_F(RestartTest, NameServerRestartMidAntiEntropy) {
+  build(base_config(4, 2));
+  const LwgId id{1};
+  form_lwg(id, {0, 1});
+
+  // Kill server 0, churn the group so the surviving server accumulates
+  // updates the dead replica never saw, then revive it mid-epidemic: its
+  // reloaded disk rows are stale and must be reconciled away (genealogy GC
+  // via the tombstones that ride anti-entropy).
+  world().crash_server(0);
+  EXPECT_TRUE(world().server_crashed(0));
+  lwg(2).join(id, user(2));  // registrations land on server 1 only
+  lwg(3).join(id, user(3));
+  ASSERT_TRUE(run_until([&] { return all_converged(id, 4); }, 300'000'000));
+  world().restart_server(0);
+  EXPECT_FALSE(world().server_crashed(0));
+
+  ASSERT_TRUE(run_until(
+      [&] { return world().convergence_failure().empty(); }, 300'000'000))
+      << world().convergence_failure();
+  EXPECT_TRUE(world().verify_convergence());
+}
+
+TEST_F(RestartTest, LoneServerReloadsItsDatabaseFromDisk) {
+  // With a single replica there is no peer to anti-entropy from: the only
+  // thing standing between a server crash and total mapping loss is the
+  // disk-backed database.
+  build(base_config(3, 1));
+  const LwgId id{1};
+  form_lwg(id, {0, 1});
+
+  world().crash_server(0);
+  run_for(2'000'000);
+  world().restart_server(0);
+
+  // A late joiner resolves the *existing* mapping from the reloaded
+  // database and joins the incumbent group instead of founding a rival.
+  lwg(2).join(id, user(2));
+  ASSERT_TRUE(run_until([&] { return all_converged(id, 3); }, 300'000'000));
+  EXPECT_TRUE(world().verify_convergence()) << world().convergence_failure();
+}
+
+TEST_F(RestartTest, DurableCountersSurviveRepeatedRestarts) {
+  build(base_config(2));
+  const LwgId id{1};
+  form_lwg(id, {0, 1});
+  for (int round = 1; round <= 3; ++round) {
+    world().crash(0);
+    run_for(2'000'000);
+    world().restart(0);
+    EXPECT_EQ(world().incarnation(0), static_cast<std::uint32_t>(round));
+    ASSERT_TRUE(run_until([&] { return all_converged(id, 2); }, 300'000'000))
+        << "round " << round;
+  }
+  // View-id uniqueness across incarnations is what the durable counters
+  // buy; the oracle's invariant #6 checker (same id, different membership)
+  // would flag any reuse. TearDown asserts the oracle is clean.
+  EXPECT_TRUE(world().verify_convergence()) << world().convergence_failure();
+}
+
+TEST_F(RestartTest, RestartWithoutCrashAsserts) {
+  build(base_config(2));
+  EXPECT_DEATH(world().restart(0), "not crashed");
+}
+
+}  // namespace
+}  // namespace plwg::lwg::testing
