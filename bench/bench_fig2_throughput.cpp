@@ -19,7 +19,12 @@
 namespace plwg::bench {
 namespace {
 
-double run_one(lwg::MappingMode mode, std::size_t n) {
+struct Result {
+  double rate = 0;             // delivered multicasts/s
+  double frames_per_msg = 0;   // wire frames per delivered message
+};
+
+Result run_one(lwg::MappingMode mode, std::size_t n) {
   Fig2World f = build_fig2_world(mode, n);
   // The send window is driven by *receiver* progress at a designated member
   // of each set (member 1 / member 5): in a totally ordered group it
@@ -64,6 +69,7 @@ double run_one(lwg::MappingMode mode, std::size_t n) {
   }
   std::uint64_t base = 0;
   for (const auto& u : f.users) base += u->delivered;
+  const std::uint64_t frames_base = f.world->network().stats().frames_sent;
   const Time start = f.world->simulator().now();
   while (f.world->simulator().now() < start + kMeasure) {
     pump();
@@ -71,10 +77,19 @@ double run_one(lwg::MappingMode mode, std::size_t n) {
   }
   std::uint64_t end_count = 0;
   for (const auto& u : f.users) end_count += u->delivered;
+  const std::uint64_t frames_end = f.world->network().stats().frames_sent;
   const Time elapsed = f.world->simulator().now() - start;
+  Result r;
   // 4 deliveries per multicast (3 remote members + the sender's own copy):
   // normalize to end-to-end multicasts per second.
-  return metrics::rate_per_sec(end_count - base, elapsed) / 4.0;
+  r.rate = metrics::rate_per_sec(end_count - base, elapsed) / 4.0;
+  // Wire cost per useful delivery: all frames on the bus during the window
+  // (data, acks, heartbeats, naming) over end-to-end message deliveries.
+  if (end_count > base) {
+    r.frames_per_msg = static_cast<double>(frames_end - frames_base) /
+                       static_cast<double>(end_count - base);
+  }
+  return r;
 }
 
 }  // namespace
@@ -85,15 +100,16 @@ int main() {
   using namespace plwg::bench;
   std::printf("# Fig. 2 (throughput): delivered multicasts/s, closed-loop "
               "saturating senders, 2 x n groups of 4 on 8 processes\n");
-  metrics::Table table(
-      {"n-groups-per-set", "service", "delivered-msgs-per-sec"});
+  metrics::Table table({"n-groups-per-set", "service",
+                        "delivered-msgs-per-sec", "frames-per-delivered-msg"});
   for (std::size_t n : {1, 2, 4, 8, 16}) {
     for (lwg::MappingMode mode :
          {lwg::MappingMode::kPerGroup, lwg::MappingMode::kStaticSingle,
           lwg::MappingMode::kDynamic}) {
-      const double rate = run_one(mode, n);
+      const Result r = run_one(mode, n);
       table.add_row({std::to_string(n), mode_name(mode),
-                     metrics::Table::fmt(rate, 1)});
+                     metrics::Table::fmt(r.rate, 1),
+                     metrics::Table::fmt(r.frames_per_msg, 3)});
     }
   }
   table.print(std::cout);

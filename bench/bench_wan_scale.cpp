@@ -24,7 +24,10 @@ class LatencyUser : public lwg::LwgUser {
                    std::span<const std::uint8_t> data) override {
     Decoder dec(data);
     rec_.record(world_.simulator().now() - dec.get_i64());
+    ++delivered;
   }
+
+  std::uint64_t delivered = 0;
 
  private:
   harness::SimWorld& world_;
@@ -34,6 +37,7 @@ class LatencyUser : public lwg::LwgUser {
 struct Result {
   double cross_lan_latency_ms = 0;
   double reconcile_ms = -1;
+  double frames_per_msg = 0;  // wire frames per delivered message
 };
 
 Result run_one(Duration wan_delay_us) {
@@ -66,6 +70,13 @@ Result run_one(Duration wan_delay_us) {
       60'000'000);
 
   // Cross-LAN latency under light traffic.
+  const std::uint64_t frames_base = world.network().stats().frames_sent;
+  auto delivered_total = [&] {
+    std::uint64_t total = 0;
+    for (const auto& u : users) total += u->delivered;
+    return total;
+  };
+  const std::uint64_t delivered_base = delivered_total();
   for (int m = 0; m < 50; ++m) {
     Encoder enc;
     enc.put_i64(world.simulator().now());
@@ -75,6 +86,14 @@ Result run_one(Duration wan_delay_us) {
   world.run_for(1'000'000);
   Result r;
   r.cross_lan_latency_ms = latency.mean_us() / 1000.0;
+  // All frames on the wire during the traffic window (data + the heartbeat /
+  // naming background it piggybacks on) per end-to-end delivery.
+  const std::uint64_t delivered = delivered_total() - delivered_base;
+  if (delivered > 0) {
+    r.frames_per_msg = static_cast<double>(world.network().stats().frames_sent -
+                                           frames_base) /
+                       static_cast<double>(delivered);
+  }
 
   // WAN cut + heal: full reconciliation time.
   world.cut_wan();
@@ -113,14 +132,15 @@ int main() {
   std::printf("# Geographic scale: 2 LANs x 3 processes over a WAN backbone; "
               "latency + reconciliation vs WAN delay\n");
   metrics::Table table({"wan-one-way-ms", "cross-lan-multicast-ms",
-                        "heal-to-merged-ms"});
+                        "heal-to-merged-ms", "frames-per-delivered-msg"});
   for (Duration wan : {1'000, 20'000, 100'000}) {
     const Result r = run_one(wan);
     table.add_row({metrics::Table::fmt(static_cast<double>(wan) / 1000.0, 0),
                    metrics::Table::fmt(r.cross_lan_latency_ms, 1),
                    r.reconcile_ms < 0
                        ? "timeout"
-                       : metrics::Table::fmt(r.reconcile_ms, 0)});
+                       : metrics::Table::fmt(r.reconcile_ms, 0),
+                   metrics::Table::fmt(r.frames_per_msg, 3)});
   }
   table.print(std::cout);
   std::printf("\nshape check: data latency scales with WAN delay; "

@@ -65,11 +65,13 @@ struct Fig2World {
 /// groups (sequentially per group for a deterministic mapping), and waits
 /// until every group converged.
 inline Fig2World build_fig2_world(lwg::MappingMode mode, std::size_t n,
-                                  std::size_t payload_bytes = 64) {
+                                  std::size_t payload_bytes = 64,
+                                  transport::TransportConfig transport = {}) {
   (void)payload_bytes;
   Fig2World f;
   harness::WorldConfig cfg;
   cfg.oracle = false;  // measuring the protocol, not checking it
+  cfg.transport = transport;
   cfg.num_processes = kProcesses;
   cfg.num_name_servers = 1;
   cfg.net.bandwidth_bps = 10e6;        // the paper's 10 Mbps Ethernet

@@ -36,6 +36,7 @@ struct WorldConfig {
   std::size_t num_name_servers = 1;
   NamingMode naming_mode = NamingMode::kDedicatedServers;
   sim::NetworkConfig net;
+  transport::TransportConfig transport;
   vsync::VsyncConfig vsync;
   names::NamingConfig naming;
   lwg::LwgConfig lwg;

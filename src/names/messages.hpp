@@ -98,12 +98,25 @@ struct MultipleMappingsMsg {
 };
 
 struct SyncMsg {
+  /// True for a periodic full-state exchange; false for a delta carrying
+  /// only the records the sender changed since its last sync. Merge
+  /// semantics are identical either way (anti-entropy is a union, so a
+  /// delta is just a partial database) — the flag exists for accounting.
+  bool full = true;
   Database db;
 
-  void encode(Encoder& enc) const { db.encode(enc); }
-  static SyncMsg decode(Decoder& dec) { return {Database::decode(dec)}; }
+  void encode(Encoder& enc) const {
+    enc.put_u8(full ? 1 : 0);
+    db.encode(enc);
+  }
+  static SyncMsg decode(Decoder& dec) {
+    SyncMsg m;
+    m.full = dec.get_u8() != 0;
+    m.db = Database::decode(dec);
+    return m;
+  }
   [[nodiscard]] std::size_t encoded_size_hint() const {
-    return db.encoded_size();
+    return 1 + db.encoded_size();
   }
 };
 

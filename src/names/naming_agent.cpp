@@ -137,7 +137,9 @@ void NamingAgent::server_on_set(NodeId from, const SetReqMsg& msg) {
   stats_.set_requests++;
   const std::map<ViewId, MappingEntry> before =
       observer_ ? alive_rows(msg.lwg) : std::map<ViewId, MappingEntry>{};
-  server_->db.records[msg.lwg].apply(msg.entry, msg.predecessors);
+  if (server_->db.records[msg.lwg].apply(msg.entry, msg.predecessors)) {
+    server_->dirty.insert(msg.lwg);
+  }
   report_record_diff(msg.lwg, before);
   Encoder body;
   AckMsg{msg.req_id}.encode(body);
@@ -167,6 +169,7 @@ void NamingAgent::server_on_testset(NodeId from, const TestSetReqMsg& msg) {
   LwgRecord& rec = server_->db.records[msg.lwg];
   if (rec.entries.empty()) {
     rec.apply(msg.entry, {});
+    server_->dirty.insert(msg.lwg);
     if (observer_) report_record_diff(msg.lwg, {});
   }
   MappingsMsg reply;
@@ -188,7 +191,17 @@ void NamingAgent::server_on_sync(const SyncMsg& msg) {
     }
     for (const auto& [lwg, rec] : msg.db.records) before.try_emplace(lwg);
   }
-  if (server_->db.merge_from(msg.db)) {
+  // Merge record by record so we learn *which* LWGs changed: anything a
+  // peer taught us is dirty here too and rides our next delta onward —
+  // deltas gossip transitively instead of waiting for a full round.
+  bool changed = false;
+  for (const auto& [lwg, rec] : msg.db.records) {
+    if (server_->db.records[lwg].merge_from(rec)) {
+      server_->dirty.insert(lwg);
+      changed = true;
+    }
+  }
+  if (changed) {
     PLWG_DEBUG("names", "server ", node_.id(), " merged peer state");
     if (observer_) {
       for (const auto& [lwg, rows] : before) report_record_diff(lwg, rows);
@@ -199,14 +212,37 @@ void NamingAgent::server_on_sync(const SyncMsg& msg) {
 
 void NamingAgent::server_broadcast_sync() {
   PLWG_ASSERT(server_);
-  if (server_->peers.empty() || server_->db.records.empty()) return;
+  if (server_->peers.empty()) return;
+  const bool full = config_.full_sync_every != 0 &&
+                    server_->sync_round % config_.full_sync_every == 0;
+  server_->sync_round++;
   Encoder body;
-  body.reserve(server_->db.encoded_size());
-  SyncMsg{server_->db}.encode(body);
-  for (NodeId peer : server_->peers) {
-    stats_.syncs_sent++;
-    send_msg(peer, NamingMsgType::kSync, body);
+  if (full) {
+    if (server_->db.records.empty()) return;
+    body.reserve(1 + server_->db.encoded_size());
+    body.put_u8(1);
+    server_->db.encode(body);
+    stats_.full_syncs_sent++;
+  } else {
+    // Delta round: ship only the records dirtied since the last sync.
+    // Nothing dirty means nothing to say — an idle server costs no frames.
+    if (server_->dirty.empty()) return;
+    Database delta;
+    for (LwgId lwg : server_->dirty) {
+      auto it = server_->db.records.find(lwg);
+      if (it != server_->db.records.end()) delta.records.emplace(*it);
+    }
+    body.reserve(1 + delta.encoded_size());
+    body.put_u8(0);
+    delta.encode(body);
+    stats_.delta_syncs_sent++;
   }
+  server_->dirty.clear();
+  stats_.syncs_sent += server_->peers.size();
+  // One multicast: every peer's copy is byte-identical, so the transport
+  // collapses them into a single wire frame (one bus occupancy).
+  multicast_msg(server_->peers, NamingMsgType::kSync, body,
+                transport::MsgClass::kAck);
 }
 
 void NamingAgent::server_check_conflicts() {
@@ -248,10 +284,14 @@ void NamingAgent::server_send_callback(LwgId lwg, const LwgRecord& rec) {
   const MemberSet targets = rec.all_members();
   PLWG_DEBUG("names", "server ", node_.id(), " MULTIPLE-MAPPINGS for lwg ",
              lwg, " to ", targets);
+  // Identical payload to every member: one multicast, one wire frame.
+  callback_targets_.clear();
   for (ProcessId p : targets.members()) {
-    stats_.callbacks_sent++;
-    send_msg(transport::node_of(p), NamingMsgType::kMultipleMappings, body);
+    callback_targets_.push_back(transport::node_of(p));
   }
+  stats_.callbacks_sent += callback_targets_.size();
+  multicast_msg(callback_targets_, NamingMsgType::kMultipleMappings, body,
+                transport::MsgClass::kData);
 }
 
 // --- shared ------------------------------------------------------------------
@@ -262,6 +302,16 @@ void NamingAgent::send_msg(NodeId to, NamingMsgType type, const Encoder& body) {
   packet.put_u8(static_cast<std::uint8_t>(type));
   packet.put_raw(body.bytes());
   node_.send(transport::Port::kNaming, to, packet);
+}
+
+void NamingAgent::multicast_msg(std::span<const NodeId> to, NamingMsgType type,
+                                const Encoder& body,
+                                transport::MsgClass cls) {
+  Encoder packet;
+  packet.reserve(1 + body.size());
+  packet.put_u8(static_cast<std::uint8_t>(type));
+  packet.put_raw(body.bytes());
+  node_.multicast(transport::Port::kNaming, to, packet, cls);
 }
 
 void NamingAgent::tick() {

@@ -17,6 +17,8 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
+#include <span>
 #include <vector>
 
 #include "names/mapping.hpp"
@@ -36,6 +38,11 @@ struct NamingConfig {
   Duration callback_repeat_us = 2'000'000;
   /// Client/server internal timer period.
   Duration tick_us = 100'000;
+  /// Every Nth anti-entropy round ships the full database; the rounds in
+  /// between send only the records dirtied since the last sync (and are
+  /// skipped entirely when nothing changed). The periodic full exchange
+  /// heals divergence that delta loss or a partition left behind.
+  std::uint32_t full_sync_every = 4;
 };
 
 /// Receives MULTIPLE-MAPPINGS callbacks (implemented by the LWG service).
@@ -92,8 +99,10 @@ class NamingAgent : public transport::PortHandler {
     std::uint64_t set_requests = 0;
     std::uint64_t read_requests = 0;
     std::uint64_t testset_requests = 0;
-    std::uint64_t syncs_sent = 0;
-    std::uint64_t callbacks_sent = 0;  // MULTIPLE-MAPPINGS deliveries
+    std::uint64_t syncs_sent = 0;        // per peer, like before deltas
+    std::uint64_t delta_syncs_sent = 0;  // rounds that shipped a delta
+    std::uint64_t full_syncs_sent = 0;   // rounds that shipped the full db
+    std::uint64_t callbacks_sent = 0;    // MULTIPLE-MAPPINGS deliveries
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -114,6 +123,11 @@ class NamingAgent : public transport::PortHandler {
   struct ServerState {
     Database db;
     std::vector<NodeId> peers;
+    /// Records changed since the last anti-entropy round; the next delta
+    /// sync carries exactly these.
+    std::set<LwgId> dirty;
+    /// Anti-entropy round counter (every full_sync_every'th round is full).
+    std::uint32_t sync_round = 0;
     /// Last conflict signature notified per LWG, to de-duplicate callbacks.
     std::map<LwgId, std::vector<std::pair<ViewId, HwgId>>> notified;
     std::map<LwgId, Time> last_callback;
@@ -138,6 +152,8 @@ class NamingAgent : public transport::PortHandler {
   void server_check_conflicts();
   void server_send_callback(LwgId lwg, const LwgRecord& rec);
   void send_msg(NodeId to, NamingMsgType type, const Encoder& body);
+  void multicast_msg(std::span<const NodeId> to, NamingMsgType type,
+                     const Encoder& body, transport::MsgClass cls);
 
   transport::NodeRuntime& node_;
   NamingConfig config_;
@@ -149,6 +165,7 @@ class NamingAgent : public transport::PortHandler {
   std::map<std::uint64_t, PendingRequest> pending_;
   std::uint64_t next_req_id_ = 1;
   Time last_sync_ = 0;
+  std::vector<NodeId> callback_targets_;  // reused multicast scratch
   Stats stats_;
 };
 

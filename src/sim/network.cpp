@@ -1,12 +1,29 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
 namespace plwg::sim {
+
+std::string NetworkStats::debug_dump() const {
+  char ratio[32];
+  std::snprintf(ratio, sizeof(ratio), "%.2f", amortization_ratio());
+  std::string out = "net{frames=" + std::to_string(frames_sent);
+  out += " msgs=" + std::to_string(messages_sent);
+  out += " amortization=" + std::string(ratio) + "x";
+  out += " piggybacked_acks=" + std::to_string(piggybacked_acks);
+  out += " deliveries=" + std::to_string(deliveries);
+  out += " bytes_on_wire=" + std::to_string(bytes_on_wire);
+  out += " drops=" + std::to_string(drops);
+  out += " corruptions=" + std::to_string(corruptions);
+  out += " stale_epoch_drops=" + std::to_string(stale_epoch_drops);
+  out += " bus_busy_us=" + std::to_string(bus_busy_us) + "}";
+  return out;
+}
 
 Network::Network(Simulator& simulator, NetworkConfig config)
     : sim_(simulator), config_(config), rng_(config.seed) {
@@ -44,7 +61,7 @@ void Network::multicast(NodeId from, std::span<const NodeId> dests,
   NodeState& sender = nodes_[from.value()];
   if (sender.crashed) return;
 
-  stats_.packets_sent++;
+  stats_.frames_sent++;
   stats_.bytes_sent += data.size();
   stats_.bytes_on_wire += data.size() + config_.header_bytes;
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -68,7 +69,9 @@ class NetHandler {
 };
 
 struct NetworkStats {
-  std::uint64_t packets_sent = 0;      // transmissions (multicast counts once)
+  std::uint64_t frames_sent = 0;       // transmissions (multicast counts once)
+  std::uint64_t messages_sent = 0;     // protocol messages carried in frames
+  std::uint64_t piggybacked_acks = 0;  // stability msgs that rode a shared frame
   std::uint64_t deliveries = 0;        // per-destination deliveries
   std::uint64_t bytes_sent = 0;        // payload bytes transmitted
   std::uint64_t bytes_on_wire = 0;     // payload + headers
@@ -76,6 +79,16 @@ struct NetworkStats {
   std::uint64_t corruptions = 0;       // deliveries mutated in transit
   std::uint64_t stale_epoch_drops = 0; // packets addressed to a dead incarnation
   Duration bus_busy_us = 0;            // accumulated transmission time
+
+  /// Messages carried per frame put on the wire — the coalescing layer's
+  /// amortization factor (1.0 means no batching happened).
+  [[nodiscard]] double amortization_ratio() const {
+    return frames_sent == 0 ? 1.0
+                            : static_cast<double>(messages_sent) /
+                                  static_cast<double>(frames_sent);
+  }
+  /// Human-readable one-stop summary for logs and test failure output.
+  [[nodiscard]] std::string debug_dump() const;
 };
 
 class Network {
@@ -139,6 +152,16 @@ class Network {
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
+
+  /// Called by the transport when it puts a coalesced frame on the wire:
+  /// `messages` sub-messages rode it, `piggybacked` of which were stability
+  /// traffic (acks/heartbeats) that would otherwise have been standalone
+  /// frames. The network itself counts frames; only the transport knows
+  /// what is inside them.
+  void note_frame(std::size_t messages, std::size_t piggybacked) {
+    stats_.messages_sent += messages;
+    stats_.piggybacked_acks += piggybacked;
+  }
 
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
   [[nodiscard]] Simulator& simulator() { return sim_; }

@@ -68,7 +68,9 @@ bool Simulator::fire_next() {
     s.live = false;
     now_ = event_time(ev.key);
     ++events_run_;
+    in_event_ = true;
     s.fn.invoke_consume();
+    in_event_ = false;
     ++s.generation;
     s.next_free = free_head_;
     free_head_ = index;

@@ -75,6 +75,12 @@ class Simulator {
   /// Returns the number of events run.
   std::size_t run_until(Time t, std::size_t max_events = kDefaultMaxEvents);
 
+  /// True while an event callback is running. Layers that distinguish
+  /// "called from inside the event loop" from "called directly by test or
+  /// bench driver code" (e.g. the transport's end-of-round frame coalescing)
+  /// key off this instead of guessing from the clock.
+  [[nodiscard]] bool in_event() const { return in_event_; }
+
   /// Live (scheduled, not yet fired or cancelled) events.
   [[nodiscard]] std::size_t pending_events() const { return live_count_; }
   /// Heap entries including lazily-deleted ones — bounded at twice the live
@@ -158,6 +164,7 @@ class Simulator {
   bool fire_next();
 
   Time now_ = 0;
+  bool in_event_ = false;
   std::uint64_t next_seq_ = 0;
   std::size_t events_run_ = 0;
   std::size_t live_count_ = 0;

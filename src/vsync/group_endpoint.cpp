@@ -152,6 +152,9 @@ void GroupEndpoint::reset_view_state() {
   delivered_upto_ = 0;
   max_seen_ = 0;
   next_order_seq_ = 1;
+  delivery_floor_.clear();
+  stable_upto_ = 0;
+  trimmed_upto_ = 0;
   suspected_ = MemberSet{};
   last_heard_.clear();
   const Time t = now();
@@ -216,19 +219,25 @@ void GroupEndpoint::on_tick() {
   }
   if (!has_view_) return;
 
-  // Heartbeats keep the failure detector fed in every state.
+  // Heartbeats keep the failure detector fed in every state. They double as
+  // the stability-ack channel: each member piggybacks its contiguous
+  // delivery bound, and the sequencer piggybacks the resulting view-wide
+  // floor back out, so log GC costs no dedicated messages at all.
   if (view_.members.size() > 1 &&
       (last_heartbeat_sent_ < 0 ||
        t - last_heartbeat_sent_ >= cfg.heartbeat_interval_us)) {
     last_heartbeat_sent_ = t;
-    const std::uint64_t high_water =
-        view_.coordinator() == self() ? next_order_seq_ - 1 : 0;
+    const bool sequencer = view_.coordinator() == self();
+    if (sequencer) update_stability_floor();
+    const std::uint64_t high_water = sequencer ? next_order_seq_ - 1 : 0;
     Encoder& body = scratch_body();
-    HeartbeatMsg{view_.id, self(), high_water}.encode(body);
+    HeartbeatMsg{view_.id, self(), high_water, delivered_upto_, stable_upto_}
+        .encode(body);
     MemberSet others = view_.members;
     others.erase(self());
     multicast(others, MsgType::kHeartbeat, body);
   }
+  trim_stable_log();
 
   update_suspicions();
 
@@ -350,15 +359,9 @@ void GroupEndpoint::on_message(ProcessId from, MsgType type, Decoder& dec) {
     case MsgType::kNack:
       on_nack(from, NackMsg::decode(dec));
       break;
-    case MsgType::kHeartbeat: {
-      const HeartbeatMsg hb = HeartbeatMsg::decode(dec);
-      // The sequencer's advertised high-water mark exposes tail losses to
-      // the NACK-based repair.
-      if (view_matches(hb.view) && hb.sender == view_.coordinator()) {
-        max_seen_ = std::max(max_seen_, hb.max_seq);
-      }
+    case MsgType::kHeartbeat:
+      on_heartbeat(HeartbeatMsg::decode(dec));
       break;
-    }
     case MsgType::kFlushReq:
       on_flush_req(from, FlushReqMsg::decode(dec));
       break;

@@ -68,6 +68,7 @@ class GroupEndpoint {
     std::uint64_t flushes_started = 0;   // as initiator
     std::uint64_t merges_led = 0;
     std::uint64_t nacks_sent = 0;
+    std::uint64_t log_trimmed = 0;       // entries GC'd below stability floor
   };
 
   GroupEndpoint(VsyncHost& host, HwgId gid, GroupUser& user);
@@ -144,6 +145,13 @@ class GroupEndpoint {
   void drain_order_buffer(ProcessId origin);
   void on_ordered(const OrderedMsgWire& msg);
   void on_nack(ProcessId from, const NackMsg& msg);
+  void on_heartbeat(const HeartbeatMsg& msg);
+  /// Sequencer only: recompute the view-wide stability floor from the
+  /// delivery bounds piggybacked on members' heartbeats.
+  void update_stability_floor();
+  /// Drop log entries (and delivered-set bookkeeping) at or below the
+  /// stability floor — everyone has them, nobody can NACK or FETCH them.
+  void trim_stable_log();
   /// `first_unacked` is the sender's progress bound carried by SEND_REQ;
   /// preserved when the message is deferred to the next view so the
   /// hold-back reasoning stays sound across the view change.
@@ -210,10 +218,16 @@ class GroupEndpoint {
   // Current view + per-view data state.
   bool has_view_ = false;
   View view_;
-  std::map<std::uint64_t, OrderedMsg> msg_log_;  // every ORDERED received
+  std::map<std::uint64_t, OrderedMsg> msg_log_;  // ORDERED received, not yet GC'd
   std::set<std::uint64_t> delivered_set_;        // dedupe across cut delivery
   std::uint64_t delivered_upto_ = 0;             // contiguous prefix delivered
   std::uint64_t max_seen_ = 0;
+  // Stability-floor log GC: the sequencer folds the delivered_upto bounds
+  // piggybacked on heartbeats into a view-wide floor and advertises it on
+  // every ORDERED and heartbeat; entries at or below the floor are trimmed.
+  std::map<ProcessId, std::uint64_t> delivery_floor_;  // sequencer's intake
+  std::uint64_t stable_upto_ = 0;                // delivered at every member
+  std::uint64_t trimmed_upto_ = 0;               // log GC'd up to here
   std::uint64_t next_order_seq_ = 1;             // sequencer counter
   std::uint64_t next_sender_msg_id_ = 1;
   std::deque<std::vector<std::uint8_t>> pending_sends_;

@@ -8,6 +8,9 @@
 // in one view.
 #include "vsync/group_endpoint.hpp"
 
+#include <algorithm>
+#include <iterator>
+
 #include "util/assert.hpp"
 #include "util/log.hpp"
 #include "util/observer_hook.hpp"
@@ -76,6 +79,7 @@ void GroupEndpoint::order_and_multicast(ProcessId origin,
   }
   OrderedMsgWire wire;
   wire.view = view_.id;
+  wire.stable_upto = stable_upto_;
   wire.msg.seq = next_order_seq_++;
   wire.msg.origin = origin;
   wire.msg.sender_msg_id = sender_msg_id;
@@ -86,6 +90,10 @@ void GroupEndpoint::order_and_multicast(ProcessId origin,
   // Multicast includes self: the sequencer's own copy arrives through the
   // loopback path so delivery is uniform at every member.
   multicast(view_.members, MsgType::kOrdered, body);
+  // ORDERED traffic feeds every member's failure detector (note_heard) and
+  // carries the stability floor, so it IS a heartbeat: suppress the
+  // dedicated one while data flows and it costs nothing extra.
+  last_heartbeat_sent_ = now();
 }
 
 void GroupEndpoint::on_send_req(const SendReqMsg& msg) {
@@ -129,6 +137,7 @@ void GroupEndpoint::on_ordered(const OrderedMsgWire& wire) {
   if (!view_matches(wire.view)) return;
   const std::uint64_t seq = wire.msg.seq;
   max_seen_ = std::max(max_seen_, seq);
+  stable_upto_ = std::max(stable_upto_, wire.stable_upto);
   msg_log_.emplace(seq, wire.msg);
   // Delivery continues while the user is being stopped, but freezes once the
   // FLUSH_ACK (our have-list) is out: anything delivered after that point
@@ -179,13 +188,60 @@ void GroupEndpoint::on_nack(ProcessId from, const NackMsg& msg) {
   if (!view_matches(msg.view)) return;
   if (view_.coordinator() != self()) return;
   for (std::uint64_t seq : msg.missing) {
+    // A NACKed seq below the stability floor cannot happen (the NACKer's own
+    // delivery bound is folded into the floor before the log is trimmed), so
+    // a log miss here means the message is simply not ordered yet.
     auto it = msg_log_.find(seq);
     if (it == msg_log_.end()) continue;
-    OrderedMsgWire wire{view_.id, it->second};
+    OrderedMsgWire wire{view_.id, stable_upto_, it->second};
     Encoder& body = scratch_body();
     wire.encode(body);
     unicast(from, MsgType::kOrdered, body);
   }
+}
+
+void GroupEndpoint::on_heartbeat(const HeartbeatMsg& hb) {
+  if (!view_matches(hb.view)) return;
+  if (view_.members.contains(hb.sender)) {
+    std::uint64_t& floor = delivery_floor_[hb.sender];
+    floor = std::max(floor, hb.delivered_upto);
+  }
+  if (hb.sender == view_.coordinator()) {
+    // The sequencer's advertised high-water mark exposes tail losses to the
+    // NACK-based repair; its stability floor bounds our log GC.
+    max_seen_ = std::max(max_seen_, hb.max_seq);
+    stable_upto_ = std::max(stable_upto_, hb.stable_upto);
+  }
+  if (view_.coordinator() == self()) update_stability_floor();
+}
+
+void GroupEndpoint::update_stability_floor() {
+  if (!has_view_ || view_.coordinator() != self()) return;
+  std::uint64_t floor = delivered_upto_;
+  for (ProcessId p : view_.members.members()) {
+    if (p == self()) continue;
+    auto it = delivery_floor_.find(p);
+    floor = std::min(floor, it == delivery_floor_.end() ? 0 : it->second);
+  }
+  stable_upto_ = std::max(stable_upto_, floor);
+}
+
+void GroupEndpoint::trim_stable_log() {
+  // Trimming is frozen during any view change: FLUSH_ACK have-lists and the
+  // delivery cut are computed from the logs as they stood when the flush
+  // began, and the initiator's union must stay fetchable.
+  if (!has_view_ || state_ != State::kActive || part_flush_ || flush_op_) {
+    return;
+  }
+  const std::uint64_t to = std::min(stable_upto_, delivered_upto_);
+  if (to <= trimmed_upto_) return;
+  const auto log_end = msg_log_.upper_bound(to);
+  stats_.log_trimmed += static_cast<std::uint64_t>(
+      std::distance(msg_log_.begin(), log_end));
+  msg_log_.erase(msg_log_.begin(), log_end);
+  delivered_set_.erase(delivered_set_.begin(),
+                       delivered_set_.upper_bound(to));
+  trimmed_upto_ = to;
 }
 
 void GroupEndpoint::flush_pending_sends() {

@@ -184,7 +184,13 @@ void GroupEndpoint::on_flush_ack(const FlushAckMsg& msg) {
   }
   if (!flush_op_->targets.contains(msg.sender)) return;
   flush_op_->acks[msg.sender] = msg.have;
-  for (std::uint64_t s : msg.have) flush_op_->union_have.insert(s);
+  for (std::uint64_t s : msg.have) {
+    // A peer that trims its log lazily may still report seqs below our own
+    // stability trim. Those are delivered at every survivor by definition of
+    // the floor, so they need no cut entry — and our log no longer has them.
+    if (s <= trimmed_upto_) continue;
+    flush_op_->union_have.insert(s);
+  }
   flush_acks_maybe_complete();
 }
 
@@ -303,7 +309,9 @@ void GroupEndpoint::on_flush_cut(const FlushCutMsg& msg) {
 void GroupEndpoint::deliver_cut(const FlushCutMsg& msg) {
   for (const OrderedMsg& m : msg.retrans) msg_log_.emplace(m.seq, m);
   for (std::uint64_t s : msg.cut) {
-    if (delivered_set_.contains(s)) continue;
+    // Seqs at or below our stability trim were delivered here long ago and
+    // then GC'd out of delivered_set_; skip them like any other duplicate.
+    if (s <= trimmed_upto_ || delivered_set_.contains(s)) continue;
     auto it = msg_log_.find(s);
     PLWG_ASSERT_MSG(it != msg_log_.end(),
                     "cut message neither in log nor retransmitted");

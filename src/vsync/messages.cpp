@@ -67,12 +67,14 @@ SendReqMsg SendReqMsg::decode(Decoder& dec) {
 
 void OrderedMsgWire::encode(Encoder& enc) const {
   view.encode(enc);
+  enc.put_u64(stable_upto);
   msg.encode(enc);
 }
 
 OrderedMsgWire OrderedMsgWire::decode(Decoder& dec) {
   OrderedMsgWire m;
   m.view = ViewId::decode(dec);
+  m.stable_upto = dec.get_u64();
   m.msg = OrderedMsg::decode(dec);
   return m;
 }
@@ -93,6 +95,8 @@ void HeartbeatMsg::encode(Encoder& enc) const {
   view.encode(enc);
   enc.put_id(sender);
   enc.put_u64(max_seq);
+  enc.put_u64(delivered_upto);
+  enc.put_u64(stable_upto);
 }
 
 HeartbeatMsg HeartbeatMsg::decode(Decoder& dec) {
@@ -100,6 +104,8 @@ HeartbeatMsg HeartbeatMsg::decode(Decoder& dec) {
   m.view = ViewId::decode(dec);
   m.sender = dec.get_id<ProcessId>();
   m.max_seq = dec.get_u64();
+  m.delivered_upto = dec.get_u64();
+  m.stable_upto = dec.get_u64();
   return m;
 }
 

@@ -90,12 +90,16 @@ struct SendReqMsg {
 
 struct OrderedMsgWire {
   ViewId view;
+  /// The sequencer's stability floor at send time, piggybacked so steady
+  /// data traffic keeps everyone's log-trim bound fresh without dedicated
+  /// stability messages. Every seq <= stable_upto is delivered everywhere.
+  std::uint64_t stable_upto = 0;
   OrderedMsg msg;
 
   void encode(Encoder& enc) const;
   static OrderedMsgWire decode(Decoder& dec);
   [[nodiscard]] std::size_t encoded_size_hint() const {
-    return ViewId::kEncodedSize + msg.encoded_size_hint();
+    return ViewId::kEncodedSize + 8 + msg.encoded_size_hint();
   }
 };
 
@@ -117,11 +121,19 @@ struct HeartbeatMsg {
   /// Non-sequencer members send 0. Receivers use it to NACK tail losses
   /// that no later message would reveal.
   std::uint64_t max_seq = 0;
+  /// Sender's contiguous-delivery prefix. The sequencer folds these into the
+  /// view-wide stability floor, so acks ride the liveness traffic instead of
+  /// costing frames of their own.
+  std::uint64_t delivered_upto = 0;
+  /// The sequencer's stability floor (only meaningful from the coordinator;
+  /// others echo what they last heard). Everything <= this is delivered at
+  /// every member and safe to trim from retransmission logs.
+  std::uint64_t stable_upto = 0;
 
   void encode(Encoder& enc) const;
   static HeartbeatMsg decode(Decoder& dec);
   [[nodiscard]] std::size_t encoded_size_hint() const {
-    return ViewId::kEncodedSize + 12;
+    return ViewId::kEncodedSize + 28;
   }
 };
 

@@ -9,6 +9,21 @@ namespace {
 /// Host-level periodic driver period. Heartbeats, suspicion checks, batch
 /// expiry etc. are all expressed as deadlines evaluated on this tick.
 constexpr Duration kTickUs = 50'000;
+
+/// Stability traffic — liveness, acknowledgement bounds, and flush votes —
+/// is tagged so the transport can report how much of it piggybacked on
+/// frames it shared with data instead of costing frames of its own.
+transport::MsgClass class_of(MsgType type) {
+  switch (type) {
+    case MsgType::kNack:
+    case MsgType::kHeartbeat:
+    case MsgType::kFlushAck:
+    case MsgType::kFlushDone:
+      return transport::MsgClass::kAck;
+    default:
+      return transport::MsgClass::kData;
+  }
+}
 }  // namespace
 
 VsyncHost::VsyncHost(transport::NodeRuntime& node, VsyncConfig config,
@@ -131,14 +146,14 @@ const Encoder& VsyncHost::frame(HwgId gid, MsgType type, const Encoder& body) {
 void VsyncHost::send_group_msg(HwgId gid, ProcessId to, MsgType type,
                                const Encoder& body) {
   node_.send(transport::Port::kVsync, transport::node_of(to),
-             frame(gid, type, body));
+             frame(gid, type, body), class_of(type));
 }
 
 void VsyncHost::multicast_group_msg(HwgId gid, const MemberSet& to,
                                     MsgType type, const Encoder& body) {
   node_.multicast(transport::Port::kVsync,
                   std::span<const ProcessId>(to.members()),
-                  frame(gid, type, body));
+                  frame(gid, type, body), class_of(type));
 }
 
 void VsyncHost::on_message(NodeId from, Decoder& dec) {

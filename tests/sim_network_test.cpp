@@ -156,7 +156,7 @@ TEST_F(NetFixture, StatsAccounting) {
   net->multicast(nodes[0], dests, std::vector<std::uint8_t>(10, 0));
   sim.run();
   const NetworkStats& s = net->stats();
-  EXPECT_EQ(s.packets_sent, 1u);     // one bus occupancy for the multicast
+  EXPECT_EQ(s.frames_sent, 1u);     // one bus occupancy for the multicast
   EXPECT_EQ(s.deliveries, 2u);
   EXPECT_EQ(s.bytes_sent, 10u);
   EXPECT_EQ(s.bytes_on_wire, 56u);
@@ -188,7 +188,7 @@ TEST_F(NetFixture, MulticastChargesPayloadBytesOncePerTransmission) {
     ASSERT_EQ(handlers[i]->packets.size(), 1u) << "node " << i;
   }
   const NetworkStats& st = net->stats();
-  EXPECT_EQ(st.packets_sent, 1u);
+  EXPECT_EQ(st.frames_sent, 1u);
   EXPECT_EQ(st.bytes_sent, payload.size());  // once, not 4x
   EXPECT_EQ(st.deliveries, 4u);
 }
@@ -207,7 +207,7 @@ TEST_F(NetFixture, MulticastAcrossPartitionClassesStillChargesOnce) {
   EXPECT_TRUE(handlers[2]->packets.empty());
   EXPECT_TRUE(handlers[3]->packets.empty());
   const NetworkStats& st = net->stats();
-  EXPECT_EQ(st.packets_sent - base.packets_sent, 1u);
+  EXPECT_EQ(st.frames_sent - base.frames_sent, 1u);
   EXPECT_EQ(st.bytes_sent - base.bytes_sent, payload.size());
   EXPECT_EQ(st.deliveries - base.deliveries, 1u);
 }

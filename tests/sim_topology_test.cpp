@@ -78,7 +78,7 @@ TEST_F(TopologyTest, MulticastForwardsOncePerRemoteSegment) {
   }
   // One source transmission + two remote-segment re-transmissions: three
   // LAN bus occupancies (plus the backbone, accounted separately).
-  EXPECT_EQ(net_->stats().packets_sent, 1u);
+  EXPECT_EQ(net_->stats().frames_sent, 1u);
   // Same-segment pairs arrive together; cross-segment later.
   EXPECT_EQ(handlers_[2]->arrivals[0] > handlers_[1]->arrivals[0], true);
 }

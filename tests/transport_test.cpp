@@ -120,29 +120,38 @@ TEST_F(TransportTest, DoubleRegisterSamePortAsserts) {
 
 // --- frame hardening & incarnations ----------------------------------------
 
-/// Hand-rolled frame in the runtime's wire format (independent reimplementation
-/// so a codec bug can't hide in both the sender and the test).
+/// Hand-rolled single-message frame in the runtime's batched wire format
+/// (independent reimplementation so a codec bug can't hide in both the
+/// sender and the test): [inc u32][checksum u32][count u16][entries], each
+/// entry [port u8][len u32][payload].
 std::vector<std::uint8_t> raw_frame(std::uint8_t port, std::uint32_t inc,
                                     std::vector<std::uint8_t> payload,
                                     bool valid_checksum = true) {
+  std::vector<std::uint8_t> tail;  // count + the single entry
+  tail.push_back(1);
+  tail.push_back(0);  // count = 1, little endian
+  tail.push_back(port);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    tail.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  tail.insert(tail.end(), payload.begin(), payload.end());
   std::uint32_t h = 2166136261u;
   auto mix = [&h](std::uint8_t byte) {
     h ^= byte;
     h *= 16777619u;
   };
-  mix(port);
   for (int i = 0; i < 4; ++i) mix(static_cast<std::uint8_t>(inc >> (8 * i)));
-  for (std::uint8_t byte : payload) mix(byte);
+  for (std::uint8_t byte : tail) mix(byte);
   if (!valid_checksum) h ^= 1;
   std::vector<std::uint8_t> out;
-  out.push_back(port);
   for (int i = 0; i < 4; ++i) {
     out.push_back(static_cast<std::uint8_t>(inc >> (8 * i)));
   }
   for (int i = 0; i < 4; ++i) {
     out.push_back(static_cast<std::uint8_t>(h >> (8 * i)));
   }
-  out.insert(out.end(), payload.begin(), payload.end());
+  out.insert(out.end(), tail.begin(), tail.end());
   return out;
 }
 
