@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Shard-scaling benchmark run.
+#
+# Builds the Release tree, runs bench_shard_scaling (threads x segments
+# sweep on the steady-traffic WAN workload), and refreshes the "current"
+# run inside BENCH_shard_scaling.json. The checked-in "pre_refactor_baseline"
+# block — the single-threaded engine before the sharded refactor, measured
+# on the same workload at 8 segments — is preserved for comparison.
+#
+# Note: measured speedup only materializes on hosts with as many cores as
+# engine threads; on smaller hosts the per-run "parallelism_bound" field
+# (sum/max of per-shard event counts) is the honest scaling signal.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT_JSON=BENCH_shard_scaling.json
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_shard_scaling
+
+tmp_json=$(mktemp)
+trap 'rm -f "$tmp_json"' EXIT
+"$BUILD_DIR/bench/bench_shard_scaling" > "$tmp_json"
+
+python3 - "$tmp_json" "$OUT_JSON" <<'EOF'
+import json, sys
+
+current = json.load(open(sys.argv[1]))
+out_path = sys.argv[2]
+try:
+    doc = json.load(open(out_path))
+except (FileNotFoundError, json.JSONDecodeError):
+    doc = {}
+doc.setdefault("pre_refactor_baseline", {
+    "engine": "single-threaded sim::Simulator, global WAN queue",
+    "workload": "8 segments x 3 processes, one LWG per segment, "
+                "64B sends every 2000 us from every process",
+    "sim_s": 5, "wall_s": 0.357, "wall_s_per_sim_s": 0.0714,
+    "deliveries": 180000, "deliveries_per_wall_s": 504202,
+})
+doc["current"] = current
+json.dump(doc, open(out_path, "w"), indent=1)
+print(f"wrote {out_path}")
+for run in current.get("runs", []):
+    print(f"  segments={run['segments']} threads={run['threads']}: "
+          f"{run['wall_s']:.3f} wall-s, "
+          f"{run['speedup_vs_1_thread']:.2f}x measured, "
+          f"bound {run['parallelism_bound']:.2f}x")
+EOF

@@ -9,9 +9,12 @@
 
 namespace plwg::harness {
 
-SimWorld::SimWorld(WorldConfig config) : config_(std::move(config)) {
-  Logger::instance().set_time_source([this] { return sim_.now(); });
-  net_ = std::make_unique<sim::Network>(sim_, config_.net);
+SimWorld::SimWorld(WorldConfig config)
+    : config_(std::move(config)),
+      engine_(std::max<std::size_t>(1, config_.segments.size()),
+              sim::Engine::Config{config_.sim_threads}) {
+  Logger::instance().set_time_source([this] { return engine_.log_now(); });
+  net_ = std::make_unique<sim::Network>(engine_, config_.net);
   const bool replicated =
       config_.naming_mode == NamingMode::kReplicatedEverywhere;
 
@@ -34,16 +37,9 @@ SimWorld::SimWorld(WorldConfig config) : config_(std::move(config)) {
     for (const auto& s : servers_) server_nodes_.push_back(s.runtime->id());
   }
 
-#ifndef PLWG_ORACLE_DISABLED
-  if (config_.oracle) {
-    oracle_ = std::make_unique<oracle::ProtocolOracle>(
-        [this] { return sim_.now(); });
-  }
-#endif
-
-  for (std::size_t j = 0; j < servers_.size(); ++j) build_server(j);
-  for (std::size_t i = 0; i < processes_.size(); ++i) build_process(i);
-
+  // Topology before any protocol stack exists: building a stack schedules
+  // its timers on the owning node's shard, so segment->shard assignment
+  // must already be in place.
   if (config_.segments.size() > 1) {
     // Multi-LAN topology: processes per their configured segment; dedicated
     // name server j joins LAN min(j, last).
@@ -65,6 +61,26 @@ SimWorld::SimWorld(WorldConfig config) : config_(std::move(config)) {
     }
     net_->set_segments(node_segments, config_.wan);
   }
+
+#ifndef PLWG_ORACLE_DISABLED
+  if (config_.oracle) {
+    // The oracle's clock: the mux pins it to each replayed event's original
+    // timestamp; without a mux the running shard's clock is already exact.
+    oracle_ = std::make_unique<oracle::ProtocolOracle>(
+        [this] { return mux_ ? mux_->now() : engine_.log_now(); });
+    if (engine_.num_shards() > 1) {
+      // Worker threads must not call into the single-threaded oracle:
+      // route every observer hook through per-shard rings, merged in
+      // deterministic order at each window barrier.
+      mux_ = std::make_unique<oracle::ShardedObserverMux>(
+          engine_, oracle_.get(), oracle_.get(), oracle_.get());
+      engine_.add_barrier_hook([m = mux_.get()] { m->drain(); });
+    }
+  }
+#endif
+
+  for (std::size_t j = 0; j < servers_.size(); ++j) build_server(j);
+  for (std::size_t i = 0; i < processes_.size(); ++i) build_process(i);
 
   crashed_.assign(processes_.size(), false);
   server_crashed_.assign(servers_.size(), false);
@@ -97,9 +113,12 @@ void SimWorld::build_process(std::size_t i, names::Database server_disk) {
                                             &stores_[i]);
 #ifndef PLWG_ORACLE_DISABLED
   if (oracle_) {
-    p.vsync->set_observer(oracle_.get());
-    p.lwg->set_observer(oracle_.get());
-    p.naming->set_observer(oracle_.get());
+    p.vsync->set_observer(mux_ ? static_cast<vsync::VsyncObserver*>(mux_.get())
+                               : oracle_.get());
+    p.lwg->set_observer(mux_ ? static_cast<lwg::LwgObserver*>(mux_.get())
+                             : oracle_.get());
+    p.naming->set_observer(mux_ ? static_cast<names::NamingObserver*>(mux_.get())
+                                : oracle_.get());
   }
 #endif
 }
@@ -114,7 +133,10 @@ void SimWorld::build_server(std::size_t j, names::Database disk) {
   }
   s.naming->enable_server(std::move(peers), std::move(disk));
 #ifndef PLWG_ORACLE_DISABLED
-  if (oracle_) s.naming->set_observer(oracle_.get());
+  if (oracle_) {
+    s.naming->set_observer(mux_ ? static_cast<names::NamingObserver*>(mux_.get())
+                                : oracle_.get());
+  }
 #endif
 }
 
@@ -214,15 +236,15 @@ names::NamingAgent& SimWorld::server(std::size_t j) {
   return *servers_[j].naming;
 }
 
-void SimWorld::run_for(Duration us) { sim_.run_until(sim_.now() + us); }
+void SimWorld::run_for(Duration us) { engine_.run_for(us); }
 
 bool SimWorld::run_until(const std::function<bool()>& pred,
                          Duration timeout_us) {
-  const Time deadline = sim_.now() + timeout_us;
+  const Time deadline = engine_.now() + timeout_us;
   constexpr Duration kStep = 10'000;  // 10 ms probes
-  while (sim_.now() < deadline) {
+  while (engine_.now() < deadline) {
     if (pred()) return true;
-    sim_.run_until(std::min(deadline, sim_.now() + kStep));
+    engine_.run_until(std::min(deadline, engine_.now() + kStep));
   }
   return pred();
 }

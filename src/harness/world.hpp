@@ -14,6 +14,8 @@
 #include "lwg/lwg_service.hpp"
 #include "names/naming_agent.hpp"
 #include "oracle/oracle.hpp"
+#include "oracle/shard_mux.hpp"
+#include "sim/engine.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "transport/node_runtime.hpp"
@@ -46,6 +48,10 @@ struct WorldConfig {
   /// (paper Sect. 5.2).
   std::vector<std::vector<std::size_t>> segments;
   sim::WanConfig wan;
+  /// Worker threads for the sharded engine (one shard per LAN segment).
+  /// 0 reads PLWG_SIM_THREADS from the environment (default 1). Same seed
+  /// produces the same trace at any value — threads only change wall-clock.
+  std::size_t sim_threads = 0;
   /// Wire the cross-node ProtocolOracle into every node (default). Benches
   /// that measure the protocol itself turn it off; builds with
   /// -DPLWG_ORACLE=OFF compile the hook sites out regardless.
@@ -59,8 +65,17 @@ class SimWorld {
   SimWorld(const SimWorld&) = delete;
   SimWorld& operator=(const SimWorld&) = delete;
 
-  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  /// Shard-0 event loop. Its clock equals the engine horizon whenever the
+  /// world is idle, and single-LAN worlds (one shard) run entirely on it —
+  /// existing `simulator().now()` / `schedule_after` call sites keep their
+  /// exact semantics.
+  [[nodiscard]] sim::Simulator& simulator() { return engine_.shard(0); }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] sim::Network& network() { return *net_; }
+  /// Combined deterministic trace digest (see sim::TraceDigest).
+  [[nodiscard]] std::uint64_t trace_digest() const {
+    return net_->trace_digest();
+  }
   [[nodiscard]] std::size_t num_processes() const { return processes_.size(); }
 
   [[nodiscard]] lwg::LwgService& lwg(std::size_t i);
@@ -140,7 +155,9 @@ class SimWorld {
   };
 
   WorldConfig config_;
-  sim::Simulator sim_;
+  /// One shard per LAN segment; a single-LAN world degenerates to the
+  /// classic single-threaded loop.
+  sim::Engine engine_;
   std::unique_ptr<sim::Network> net_;
   /// Per-process / per-server stable storage; declared before the nodes
   /// (so it is destroyed after them) because it is exactly the state that
@@ -150,6 +167,10 @@ class SimWorld {
   /// Declared before the nodes so it is destroyed after them: hooks may
   /// still fire while nodes tear down.
   std::unique_ptr<oracle::ProtocolOracle> oracle_;
+  /// Multi-shard worlds route observer hooks through the mux (per-shard
+  /// rings, drained at window barriers); single-shard worlds wire the
+  /// oracle directly. Destroyed after the nodes, like the oracle.
+  std::unique_ptr<oracle::ShardedObserverMux> mux_;
   std::vector<ProcessNode> processes_;
   std::vector<ServerNode> servers_;
   /// All name-server nodes in creation order (client fail-over lists are

@@ -1,0 +1,116 @@
+#include "oracle/shard_mux.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace plwg::oracle {
+
+void ShardedObserverMux::drain() {
+  // Merge order (t, shard, ring position): each ring is already
+  // time-ordered (a shard's clock is monotone), so a stable sort on time
+  // alone — after concatenating rings in shard order — yields the
+  // deterministic total order.
+  struct Indexed {
+    Time t;
+    std::size_t rank;  // append rank in (shard, ring position) order
+    UniqueFunction* fn;
+  };
+  std::vector<Indexed> merged;
+  std::size_t total = 0;
+  for (const auto& ring : rings_) total += ring.size();
+  if (total == 0) return;
+  merged.reserve(total);
+  std::size_t rank = 0;
+  for (auto& ring : rings_) {
+    for (Entry& e : ring) merged.push_back(Indexed{e.t, rank++, &e.replay});
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Indexed& a, const Indexed& b) { return a.t < b.t; });
+  replaying_ = true;
+  for (Indexed& item : merged) {
+    replay_time_ = item.t;
+    (*item.fn)();
+  }
+  replaying_ = false;
+  for (auto& ring : rings_) ring.clear();
+}
+
+void ShardedObserverMux::on_hwg_view_installed(ProcessId p, HwgId gid,
+                                               const vsync::View& view) {
+  if (vsync_ == nullptr) return;
+  dispatch([obs = vsync_, p, gid, view] {
+    obs->on_hwg_view_installed(p, gid, view);
+  });
+}
+
+void ShardedObserverMux::on_hwg_delivered(
+    ProcessId p, HwgId gid, const vsync::ViewId& view, std::uint64_t seq,
+    ProcessId origin, std::uint64_t sender_msg_id,
+    std::span<const std::uint8_t> payload) {
+  if (vsync_ == nullptr) return;
+  dispatch([obs = vsync_, p, gid, view, seq, origin, sender_msg_id,
+            bytes = std::vector<std::uint8_t>(payload.begin(),
+                                              payload.end())] {
+    obs->on_hwg_delivered(p, gid, view, seq, origin, sender_msg_id, bytes);
+  });
+}
+
+void ShardedObserverMux::on_hwg_flush_completed(ProcessId p, HwgId gid,
+                                                const vsync::ViewId& old_view,
+                                                bool initiator) {
+  if (vsync_ == nullptr) return;
+  dispatch([obs = vsync_, p, gid, old_view, initiator] {
+    obs->on_hwg_flush_completed(p, gid, old_view, initiator);
+  });
+}
+
+void ShardedObserverMux::on_hwg_endpoint_reset(ProcessId p, HwgId gid) {
+  if (vsync_ == nullptr) return;
+  dispatch([obs = vsync_, p, gid] { obs->on_hwg_endpoint_reset(p, gid); });
+}
+
+void ShardedObserverMux::on_lwg_view_installed(
+    ProcessId p, LwgId lwg, const lwg::LwgView& view,
+    std::span<const vsync::ViewId> predecessors) {
+  if (lwg_ == nullptr) return;
+  dispatch([obs = lwg_, p, lwg, view,
+            preds = std::vector<vsync::ViewId>(predecessors.begin(),
+                                        predecessors.end())] {
+    obs->on_lwg_view_installed(p, lwg, view, preds);
+  });
+}
+
+void ShardedObserverMux::on_lwg_delivered(ProcessId p, LwgId lwg,
+                                          const vsync::ViewId& view, ProcessId src,
+                                          std::span<const std::uint8_t>
+                                              payload) {
+  if (lwg_ == nullptr) return;
+  dispatch([obs = lwg_, p, lwg, view, src,
+            bytes = std::vector<std::uint8_t>(payload.begin(),
+                                              payload.end())] {
+    obs->on_lwg_delivered(p, lwg, view, src, bytes);
+  });
+}
+
+void ShardedObserverMux::on_lwg_epoch_reset(ProcessId p, LwgId lwg) {
+  if (lwg_ == nullptr) return;
+  dispatch([obs = lwg_, p, lwg] { obs->on_lwg_epoch_reset(p, lwg); });
+}
+
+void ShardedObserverMux::on_mapping_written(NodeId server, LwgId lwg,
+                                            const names::MappingEntry& entry) {
+  if (naming_ == nullptr) return;
+  dispatch([obs = naming_, server, lwg, entry] {
+    obs->on_mapping_written(server, lwg, entry);
+  });
+}
+
+void ShardedObserverMux::on_mapping_gced(NodeId server, LwgId lwg,
+                                         const vsync::ViewId& lwg_view) {
+  if (naming_ == nullptr) return;
+  dispatch([obs = naming_, server, lwg, lwg_view] {
+    obs->on_mapping_gced(server, lwg, lwg_view);
+  });
+}
+
+}  // namespace plwg::oracle

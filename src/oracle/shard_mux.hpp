@@ -1,0 +1,107 @@
+// Shard-aware observer multiplexer: funnels per-shard protocol events into
+// the (single-threaded) protocol oracle in a deterministic global order.
+//
+// Worker threads must never call into the oracle directly — its state is one
+// big cross-node table. Instead every observer hook fired inside a shard
+// window is captured by value (timestamp + arguments) into that shard's
+// ring; rings are single-writer (only the thread currently running the
+// shard appends) and are drained on the driver thread at every engine
+// window barrier. The drain merges all rings by (event time, shard index,
+// ring position) — a total order that depends only on the simulation, not
+// on the thread schedule — and replays each event into the downstream
+// observers with the oracle's clock pinned to the event's original
+// timestamp, so violation reports keep precise times.
+//
+// Hooks fired outside any shard window (driver-thread test code, engine
+// idle) apply immediately; rings are always empty then because every
+// Engine::run_until ends with a barrier drain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lwg/observer.hpp"
+#include "names/observer.hpp"
+#include "sim/engine.hpp"
+#include "util/function.hpp"
+#include "util/types.hpp"
+#include "vsync/observer.hpp"
+
+namespace plwg::oracle {
+
+class ShardedObserverMux final : public vsync::VsyncObserver,
+                                 public lwg::LwgObserver,
+                                 public names::NamingObserver {
+ public:
+  ShardedObserverMux(sim::Engine& engine, vsync::VsyncObserver* vsync,
+                     lwg::LwgObserver* lwg, names::NamingObserver* naming)
+      : engine_(engine), vsync_(vsync), lwg_(lwg), naming_(naming) {
+    rings_.resize(engine.num_shards());
+  }
+
+  /// Replay every ringed event into the downstream observers in the global
+  /// deterministic order. Registered as an engine barrier hook; also safe
+  /// to call while idle.
+  void drain();
+
+  /// Clock for the downstream oracle: the replayed event's original
+  /// timestamp during drain, the running shard's clock inside a window,
+  /// the engine horizon otherwise.
+  [[nodiscard]] Time now() const {
+    return replaying_ ? replay_time_ : engine_.log_now();
+  }
+
+  // vsync::VsyncObserver
+  void on_hwg_view_installed(ProcessId p, HwgId gid,
+                             const vsync::View& view) override;
+  void on_hwg_delivered(ProcessId p, HwgId gid, const vsync::ViewId& view,
+                        std::uint64_t seq, ProcessId origin,
+                        std::uint64_t sender_msg_id,
+                        std::span<const std::uint8_t> payload) override;
+  void on_hwg_flush_completed(ProcessId p, HwgId gid, const vsync::ViewId& old_view,
+                              bool initiator) override;
+  void on_hwg_endpoint_reset(ProcessId p, HwgId gid) override;
+
+  // lwg::LwgObserver
+  void on_lwg_view_installed(ProcessId p, LwgId lwg, const lwg::LwgView& view,
+                             std::span<const vsync::ViewId> predecessors) override;
+  void on_lwg_delivered(ProcessId p, LwgId lwg, const vsync::ViewId& view,
+                        ProcessId src,
+                        std::span<const std::uint8_t> payload) override;
+  void on_lwg_epoch_reset(ProcessId p, LwgId lwg) override;
+
+  // names::NamingObserver
+  void on_mapping_written(NodeId server, LwgId lwg,
+                          const names::MappingEntry& entry) override;
+  void on_mapping_gced(NodeId server, LwgId lwg,
+                       const vsync::ViewId& lwg_view) override;
+
+ private:
+  struct Entry {
+    Time t;
+    UniqueFunction replay;
+  };
+
+  /// True when the calling thread is inside a shard window: capture into
+  /// that shard's ring. False (driver thread): apply downstream now.
+  template <class F>
+  void dispatch(F&& apply) {
+    const int shard = sim::Engine::current_shard();
+    if (shard < 0) {
+      apply();
+      return;
+    }
+    rings_[static_cast<std::size_t>(shard)].push_back(
+        Entry{engine_.log_now(), std::forward<F>(apply)});
+  }
+
+  sim::Engine& engine_;
+  vsync::VsyncObserver* vsync_;
+  lwg::LwgObserver* lwg_;
+  names::NamingObserver* naming_;
+  std::vector<std::vector<Entry>> rings_;  // one per shard, single-writer
+  bool replaying_ = false;
+  Time replay_time_ = 0;
+};
+
+}  // namespace plwg::oracle

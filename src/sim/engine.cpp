@@ -1,0 +1,209 @@
+#include "sim/engine.hpp"
+
+#include <cstdlib>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace plwg::sim {
+
+namespace {
+
+thread_local int tl_current_shard = -1;
+thread_local const Simulator* tl_current_sim = nullptr;
+
+std::size_t threads_from_env() {
+  const char* value = std::getenv("PLWG_SIM_THREADS");
+  if (value == nullptr || *value == '\0') return 1;
+  const long parsed = std::strtol(value, nullptr, 10);
+  return parsed < 1 ? 1 : static_cast<std::size_t>(parsed);
+}
+
+/// RAII guard marking the calling thread as executing shard `s`.
+struct ShardScope {
+  ShardScope(int s, const Simulator* sim) {
+    tl_current_shard = s;
+    tl_current_sim = sim;
+  }
+  ~ShardScope() {
+    tl_current_shard = -1;
+    tl_current_sim = nullptr;
+  }
+};
+
+}  // namespace
+
+Engine::Engine(std::size_t num_shards) : Engine(num_shards, Config{}) {}
+
+Engine::Engine(std::size_t num_shards, Config config) {
+  PLWG_ASSERT(num_shards >= 1);
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  mail_.resize(num_shards * num_shards);
+  const std::size_t requested =
+      config.threads == 0 ? threads_from_env() : config.threads;
+  threads_ = std::min(requested, num_shards);
+  if (threads_ < 1) threads_ = 1;
+  if (threads_ > 1) {
+    workers_.reserve(threads_);
+    for (std::size_t w = 0; w < threads_; ++w) {
+      workers_.emplace_back([this, w] { worker_main(w); });
+    }
+    PLWG_INFO("engine", "sharded engine: ", num_shards, " shards on ",
+              threads_, " threads");
+  }
+}
+
+Engine::~Engine() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      pool_stop_ = true;
+    }
+    pool_work_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+}
+
+void Engine::set_lookahead(Duration us) {
+  PLWG_ASSERT_MSG(!running(), "lookahead change while the engine is running");
+  PLWG_ASSERT(us >= 0);
+  lookahead_ = us;
+}
+
+void Engine::add_barrier_hook(std::function<void()> hook) {
+  PLWG_ASSERT(!running());
+  barrier_hooks_.push_back(std::move(hook));
+}
+
+int Engine::current_shard() { return tl_current_shard; }
+
+Time Engine::log_now() const {
+  if (tl_current_sim != nullptr) return tl_current_sim->now();
+  return now();
+}
+
+void Engine::post(std::size_t dst, Time t, UniqueFunction fn) {
+  PLWG_ASSERT(dst < shards_.size());
+  const int src = tl_current_shard;
+  if (src < 0) {
+    // Driver thread, engine idle: inject directly.
+    PLWG_ASSERT_MSG(!running(), "cross-shard post from a non-shard thread "
+                                "while the engine is running");
+    shards_[dst]->schedule_at(t, std::move(fn));
+    return;
+  }
+  mail_[static_cast<std::size_t>(src) * shards_.size() + dst].push_back(
+      Posted{t, std::move(fn)});
+}
+
+void Engine::drain_mailboxes() {
+  // Fixed (source, destination, post order) injection order — part of the
+  // determinism contract. Injections are timestamped at or after the new
+  // horizon (the conservative-lookahead guarantee), asserted here.
+  const Time horizon = now();
+  for (std::vector<Posted>& cell : mail_) {
+    for (Posted& p : cell) {
+      PLWG_ASSERT_MSG(p.t >= horizon,
+                      "cross-shard event inside the closed window "
+                      "(lookahead too large for the topology)");
+    }
+  }
+  for (std::size_t src = 0; src < shards_.size(); ++src) {
+    for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
+      std::vector<Posted>& cell = mail_[src * shards_.size() + dst];
+      for (Posted& p : cell) {
+        shards_[dst]->schedule_at(p.t, std::move(p.fn));
+      }
+      cell.clear();
+    }
+  }
+}
+
+std::size_t Engine::run_window_sequential(Time end) {
+  std::size_t events = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ShardScope scope(static_cast<int>(s), shards_[s].get());
+    events += shards_[s]->run_until(end);
+  }
+  return events;
+}
+
+void Engine::run_shard_range(std::size_t worker, Time end,
+                             std::size_t& events) {
+  for (std::size_t s = worker; s < shards_.size(); s += threads_) {
+    ShardScope scope(static_cast<int>(s), shards_[s].get());
+    events += shards_[s]->run_until(end);
+  }
+}
+
+void Engine::worker_main(std::size_t w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Time end = 0;
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      pool_work_.wait(lock,
+                      [&] { return pool_stop_ || pool_generation_ != seen; });
+      if (pool_stop_) return;
+      seen = pool_generation_;
+      end = pool_window_end_;
+    }
+    std::size_t events = 0;
+    run_shard_range(w, end, events);
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      pool_events_ += events;
+      if (--pool_pending_ == 0) pool_done_.notify_one();
+    }
+  }
+}
+
+std::size_t Engine::run_window_parallel(Time end) {
+  std::size_t events = 0;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    pool_window_end_ = end;
+    pool_pending_ = threads_;
+    pool_events_ = 0;
+    ++pool_generation_;
+  }
+  pool_work_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(pool_mutex_);
+    pool_done_.wait(lock, [&] { return pool_pending_ == 0; });
+    events = pool_events_;
+  }
+  return events;
+}
+
+std::size_t Engine::run_until(Time target) {
+  PLWG_ASSERT_MSG(!running(), "re-entrant Engine::run_until");
+  if (target < now()) target = now();
+  PLWG_ASSERT_MSG(shards_.size() == 1 || lookahead_ > 0,
+                  "multi-shard engine needs a positive lookahead "
+                  "(set by sim::Network::set_segments)");
+  running_.store(true, std::memory_order_relaxed);
+  std::size_t events = 0;
+  bool ran_any_window = false;
+  while (now() < target || !ran_any_window) {
+    Time window_end = target;
+    if (shards_.size() > 1) {
+      window_end = std::min(target, now() + lookahead_);
+    }
+    events += (threads_ > 1 && shards_.size() > 1)
+                  ? run_window_parallel(window_end)
+                  : run_window_sequential(window_end);
+    horizon_.store(window_end, std::memory_order_relaxed);
+    drain_mailboxes();
+    for (const auto& hook : barrier_hooks_) hook();
+    ran_any_window = true;
+    if (window_end >= target) break;
+  }
+  running_.store(false, std::memory_order_relaxed);
+  return events;
+}
+
+}  // namespace plwg::sim

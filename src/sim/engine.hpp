@@ -1,0 +1,151 @@
+// Sharded discrete-event engine: deterministic multi-core simulation.
+//
+// Nodes are partitioned into shards (one per LAN segment by default — see
+// sim::Network::set_segments); each shard owns a private Simulator (its own
+// timer arena, event heap, and clock) and is advanced by at most one thread
+// at a time. Shards synchronize with a conservative time-window scheme:
+//
+//   * The engine advances all shards in lockstep windows of `lookahead`
+//     simulated microseconds. Within a window every shard runs its local
+//     events with no locks and no cross-shard visibility.
+//   * The only causal coupling between shards is a cross-shard packet, and
+//     every such packet pays at least the backbone propagation delay — so a
+//     lookahead equal to that minimum latency guarantees no shard can
+//     receive an event timestamped inside the window it is running.
+//   * Cross-shard events are posted into per-(source, destination) mailboxes
+//     during the window and injected into the destination shard at the
+//     window barrier, in fixed (source shard, destination shard, post
+//     order) order.
+//
+// Determinism is the design invariant, not an accident: per-shard event
+// sequences depend only on the shard's own event order plus barrier-time
+// injections, and both are independent of how many OS threads execute the
+// windows. Same seed ⇒ byte-identical trace at 1, 2, or N threads
+// (enforced by tests/determinism_test.cpp over sim::Network's TraceDigest).
+//
+// A single-shard engine degenerates to exactly the classic single-threaded
+// event loop: one window per run, no mailboxes, no worker threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/function.hpp"
+#include "util/types.hpp"
+
+namespace plwg::sim {
+
+class Engine {
+ public:
+  struct Config {
+    /// Worker threads executing shard windows. 0 reads PLWG_SIM_THREADS
+    /// from the environment (default 1). Clamped to the shard count — more
+    /// threads than shards cannot help.
+    std::size_t threads = 0;
+  };
+
+  explicit Engine(std::size_t num_shards = 1);
+  Engine(std::size_t num_shards, Config config);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  /// Effective worker count (after env lookup and shard clamping).
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+  [[nodiscard]] Simulator& shard(std::size_t s) { return *shards_[s]; }
+  [[nodiscard]] const Simulator& shard(std::size_t s) const {
+    return *shards_[s];
+  }
+
+  /// Completed simulation horizon: every shard's clock equals this whenever
+  /// the engine is idle (between run_until calls / at window barriers).
+  [[nodiscard]] Time now() const {
+    return horizon_.load(std::memory_order_relaxed);
+  }
+
+  /// Minimum cross-shard event latency, microseconds. Every cross-shard
+  /// post made while a window is running must be timestamped at least this
+  /// far after the window's start; the poster (sim::Network) guarantees it
+  /// by construction and the barrier asserts it. Must be > 0 before a
+  /// multi-shard engine runs.
+  void set_lookahead(Duration us);
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  /// Schedule `fn` at absolute time `t` on shard `dst`. Callable from
+  /// inside a running shard (appends to the posting shard's mailbox,
+  /// injected at the next window barrier) or from the driver thread while
+  /// idle (scheduled directly).
+  void post(std::size_t dst, Time t, UniqueFunction fn);
+
+  /// Run `hook` on the driver thread at every window barrier (after
+  /// mailbox injection) and once more when run_until returns. Used by the
+  /// oracle mux to replay per-shard observer rings in deterministic order.
+  void add_barrier_hook(std::function<void()> hook);
+
+  /// Advance every shard to exactly time `t`. Returns events executed.
+  std::size_t run_until(Time t);
+  std::size_t run_for(Duration d) { return run_until(now() + d); }
+
+  /// True from run_until entry to exit (any thread). Global topology
+  /// mutations (crash, partition, reshard) are only legal while idle.
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+
+  /// Shard index the calling thread is currently executing, or -1 when the
+  /// caller is not inside a shard window (driver thread, or idle).
+  [[nodiscard]] static int current_shard();
+  /// Clock of the shard the calling thread is executing, falling back to
+  /// the completed horizon — safe from any thread, for log timestamps.
+  [[nodiscard]] Time log_now() const;
+
+  /// Per-shard events executed (monotonic), for load-balance accounting in
+  /// the scaling bench: speedup is bounded by max-shard / mean-shard load.
+  [[nodiscard]] std::size_t shard_events_run(std::size_t s) const {
+    return shards_[s]->total_events_run();
+  }
+
+ private:
+  struct Posted {
+    Time t;
+    UniqueFunction fn;
+  };
+
+  std::size_t run_window_sequential(Time end);
+  std::size_t run_window_parallel(Time end);
+  void run_shard_range(std::size_t worker, Time end, std::size_t& events);
+  void drain_mailboxes();
+  void worker_main(std::size_t w);
+
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  /// mail_[src * S + dst]: written only by the thread running shard `src`
+  /// during a window (or the idle driver thread), drained only by the
+  /// driver thread at barriers — never concurrently.
+  std::vector<std::vector<Posted>> mail_;
+  std::vector<std::function<void()>> barrier_hooks_;
+  Duration lookahead_ = 0;
+  std::atomic<Time> horizon_{0};
+  std::atomic<bool> running_{false};
+
+  // Worker pool (spawned in the constructor iff threads_ > 1).
+  std::size_t threads_ = 1;
+  std::mutex pool_mutex_;
+  std::condition_variable pool_work_;
+  std::condition_variable pool_done_;
+  std::uint64_t pool_generation_ = 0;
+  Time pool_window_end_ = 0;
+  std::size_t pool_pending_ = 0;
+  std::size_t pool_events_ = 0;
+  bool pool_stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace plwg::sim

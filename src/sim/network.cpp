@@ -2,12 +2,26 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <memory>
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
 namespace plwg::sim {
+
+void NetworkStats::accumulate(const NetworkStats& other) {
+  frames_sent += other.frames_sent;
+  messages_sent += other.messages_sent;
+  piggybacked_acks += other.piggybacked_acks;
+  deliveries += other.deliveries;
+  bytes_sent += other.bytes_sent;
+  bytes_on_wire += other.bytes_on_wire;
+  drops += other.drops;
+  corruptions += other.corruptions;
+  stale_epoch_drops += other.stale_epoch_drops;
+  bus_busy_us += other.bus_busy_us;
+}
 
 std::string NetworkStats::debug_dump() const {
   char ratio[32];
@@ -26,11 +40,36 @@ std::string NetworkStats::debug_dump() const {
 }
 
 Network::Network(Simulator& simulator, NetworkConfig config)
-    : sim_(simulator), config_(config), rng_(config.seed) {
+    : config_(config) {
   PLWG_ASSERT(config_.bandwidth_bps > 0);
+  shards_.resize(1);
+  shards_[0].sim = &simulator;
+  shards_[0].rng = Rng(config_.seed);
+}
+
+Network::Network(Engine& engine, NetworkConfig config)
+    : engine_(&engine), config_(config) {
+  PLWG_ASSERT(config_.bandwidth_bps > 0);
+  shards_.resize(engine.num_shards());
+  // Per-shard PRNG streams: shard 0 keeps the classic stream (so a 1-shard
+  // engine reproduces the classic form bit for bit); shard i>0 gets an
+  // independent splitmix64-derived stream. Streams depend only on the seed
+  // and the shard count — never on the thread count.
+  std::uint64_t stream = config_.seed;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].sim = &engine.shard(s);
+    shards_[s].rng = Rng(s == 0 ? config_.seed : splitmix64(stream));
+  }
+}
+
+void Network::assert_idle(const char* what) const {
+  (void)what;
+  PLWG_ASSERT_MSG(engine_ == nullptr || !engine_->running(),
+                  "topology mutation while the engine is running");
 }
 
 NodeId Network::add_node(NetHandler& handler) {
+  assert_idle("add_node");
   const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
   NodeState state;
   state.handler = &handler;
@@ -46,11 +85,12 @@ Duration Network::transmission_time(std::size_t payload_bytes,
   return static_cast<Duration>(seconds * 1e6) + 1;  // at least 1us
 }
 
-Time Network::occupy_bus(std::int64_t key, Time earliest, Duration tx_time) {
-  Time& bus_free = bus_free_at_[key];
+Time Network::occupy_bus(ShardCtx& ctx, std::int64_t key, Time earliest,
+                         Duration tx_time) {
+  Time& bus_free = ctx.bus_free_at[key];
   const Time tx_start = std::max(earliest, bus_free);
   const Time tx_end = tx_start + tx_time;
-  stats_.bus_busy_us += tx_time;
+  ctx.stats.bus_busy_us += tx_time;
   bus_free = tx_end;
   return tx_end;
 }
@@ -60,17 +100,29 @@ void Network::multicast(NodeId from, std::span<const NodeId> dests,
   PLWG_ASSERT(from.valid() && from.value() < nodes_.size());
   NodeState& sender = nodes_[from.value()];
   if (sender.crashed) return;
+  // All sender-side queue/RNG/stat state lives in the sender's shard; this
+  // call runs either inside that shard's events or while the engine is
+  // idle, so no other thread can touch it.
+  ShardCtx& ctx = shards_[sender.shard];
+  Simulator& sim = *ctx.sim;
 
-  stats_.frames_sent++;
-  stats_.bytes_sent += data.size();
-  stats_.bytes_on_wire += data.size() + config_.header_bytes;
+  ctx.stats.frames_sent++;
+  ctx.stats.bytes_sent += data.size();
+  ctx.stats.bytes_on_wire += data.size() + config_.header_bytes;
+  // Frame identity is minted per shard (high bits = shard) — a global
+  // counter would be the one cross-shard write on every send path.
+  const std::uint64_t packet_id =
+      (static_cast<std::uint64_t>(sender.shard) << 48) | ctx.next_packet_id++;
+  ctx.digest.fold_u64(static_cast<std::uint64_t>(sim.now()));
+  ctx.digest.fold_u64(packet_id);
+  ctx.digest.fold_u64(data.size());
 
   // Shared-bus occupancy on the sender's LAN.
   const Duration lan_tx = transmission_time(data.size(), config_.bandwidth_bps);
-  Time tx_end = sim_.now();
+  Time tx_end = sim.now();
   if (config_.shared_bus) {
-    tx_end = occupy_bus(bus_key(sender.partition, sender.segment), sim_.now(),
-                        lan_tx);
+    tx_end = occupy_bus(ctx, bus_key(sender.partition, sender.segment),
+                        sim.now(), lan_tx);
   }
 
   auto shared = std::make_shared<const std::vector<std::uint8_t>>(
@@ -80,34 +132,35 @@ void Network::multicast(NodeId from, std::span<const NodeId> dests,
   // forwarded once over the backbone and re-transmitted on each destination
   // segment's bus (store-and-forward). Each queue is occupied by an event
   // *at the time the packet reaches it* — booking future slots eagerly
-  // would let far-away traffic starve earlier local traffic.
-  std::unordered_map<int, std::vector<NodeId>> remote_dests;
+  // would let far-away traffic starve earlier local traffic. std::map keeps
+  // destination segments in a deterministic order.
+  std::map<int, std::vector<NodeId>> remote_dests;
   for (NodeId to : dests) {
     PLWG_ASSERT(to.valid() && to.value() < nodes_.size());
     if (to == from) {
       // Loopback: no bus, just local processing cost.
-      deliver(from, to, shared, sim_.now());
+      deliver(from, to, shared, sim.now());
       continue;
     }
     const NodeState& receiver = nodes_[to.value()];
     if (receiver.crashed || receiver.partition != sender.partition) continue;
     if (config_.drop_probability > 0 &&
-        rng_.next_bool(config_.drop_probability)) {
-      stats_.drops++;
+        ctx.rng.next_bool(config_.drop_probability)) {
+      ctx.stats.drops++;
       continue;
     }
     if (receiver.segment == sender.segment || !multi_segment_) {
       Time arrival = tx_end + config_.propagation_delay_us;
       if (config_.jitter_us > 0) {
-        arrival += static_cast<Duration>(rng_.next_below(
+        arrival += static_cast<Duration>(ctx.rng.next_below(
             static_cast<std::uint64_t>(config_.jitter_us) + 1));
       }
       auto payload = shared;
       if (config_.corrupt_probability > 0 &&
-          rng_.next_bool(config_.corrupt_probability)) {
-        stats_.corruptions++;
+          ctx.rng.next_bool(config_.corrupt_probability)) {
+        ctx.stats.corruptions++;
         payload = std::make_shared<const std::vector<std::uint8_t>>(
-            corrupt_copy(*shared));
+            corrupt_copy(ctx.rng, *shared));
       }
       deliver(from, to, std::move(payload), arrival);
     } else {
@@ -116,49 +169,71 @@ void Network::multicast(NodeId from, std::span<const NodeId> dests,
   }
   if (remote_dests.empty()) return;
 
-  // Backbone hop: occupy the WAN queue when the packet leaves the source
-  // bus, then each destination LAN's bus when it comes off the backbone.
+  // Backbone hop: occupy the source segment's WAN uplink when the packet
+  // leaves the source bus, then each destination LAN's bus when it comes
+  // off the backbone. The uplink is sender-shard state; the destination-bus
+  // hop crosses shards and is the one place Engine::post is needed. Its
+  // timestamp is >= now + uplink tx (>=1us) + backbone propagation — never
+  // inside the engine's lookahead window.
   const std::size_t bytes = shared->size();
   const int partition = sender.partition;
-  sim_.schedule_at(tx_end, [this, from, shared, bytes, partition, lan_tx,
-                            remote_dests = std::move(remote_dests)] {
-    Time& wan_free = wan_free_at_[partition];
-    const Time wan_start = std::max(sim_.now(), wan_free);
+  const int src_segment = sender.segment;
+  sim.schedule_at(tx_end, [this, from, shared, bytes, partition, src_segment,
+                           lan_tx, remote_dests = std::move(remote_dests)] {
+    ShardCtx& sctx = shards_[nodes_[from.value()].shard];
+    Time& uplink_free =
+        sctx.uplink_free_at[bus_key(partition, src_segment)];
+    const Time wan_start = std::max(sctx.sim->now(), uplink_free);
     const Time wan_end =
         wan_start + transmission_time(bytes, wan_.bandwidth_bps);
-    wan_free = wan_end;
+    uplink_free = wan_end;
     const Time backbone_out = wan_end + wan_.propagation_delay_us;
     for (const auto& [segment, nodes] : remote_dests) {
-      sim_.schedule_at(
-          backbone_out, [this, from, shared, partition, segment, lan_tx,
-                         nodes] {
-            const Time seg_done =
-                config_.shared_bus
-                    ? occupy_bus(bus_key(partition, segment), sim_.now(),
-                                 lan_tx)
-                    : sim_.now();
-            for (NodeId to : nodes) {
-              Time arrival = seg_done + config_.propagation_delay_us;
-              if (config_.jitter_us > 0) {
-                arrival += static_cast<Duration>(rng_.next_below(
-                    static_cast<std::uint64_t>(config_.jitter_us) + 1));
-              }
-              auto payload = shared;
-              if (config_.corrupt_probability > 0 &&
-                  rng_.next_bool(config_.corrupt_probability)) {
-                stats_.corruptions++;
-                payload = std::make_shared<const std::vector<std::uint8_t>>(
-                    corrupt_copy(*shared));
-              }
-              deliver(from, to, std::move(payload), arrival);
-            }
-          });
+      const std::size_t dst_shard = shard_of_segment(segment);
+      auto hop = [this, from, shared, partition, segment, lan_tx, nodes] {
+        segment_arrival(from, partition, segment, lan_tx, shared, nodes);
+      };
+      if (engine_ != nullptr && dst_shard != nodes_[from.value()].shard) {
+        engine_->post(dst_shard, backbone_out, std::move(hop));
+      } else {
+        shards_[dst_shard].sim->schedule_at(backbone_out, std::move(hop));
+      }
     }
   });
 }
 
+void Network::segment_arrival(
+    NodeId from, int partition, int segment, Duration lan_tx,
+    const std::shared_ptr<const std::vector<std::uint8_t>>& shared,
+    const std::vector<NodeId>& nodes) {
+  // Runs in the destination segment's shard: its bus queue, fault RNG and
+  // corruption counter are all local here.
+  ShardCtx& ctx = shards_[shard_of_segment(segment)];
+  const Time seg_done =
+      config_.shared_bus
+          ? occupy_bus(ctx, bus_key(partition, segment), ctx.sim->now(),
+                       lan_tx)
+          : ctx.sim->now();
+  for (NodeId to : nodes) {
+    Time arrival = seg_done + config_.propagation_delay_us;
+    if (config_.jitter_us > 0) {
+      arrival += static_cast<Duration>(ctx.rng.next_below(
+          static_cast<std::uint64_t>(config_.jitter_us) + 1));
+    }
+    auto payload = shared;
+    if (config_.corrupt_probability > 0 &&
+        ctx.rng.next_bool(config_.corrupt_probability)) {
+      ctx.stats.corruptions++;
+      payload = std::make_shared<const std::vector<std::uint8_t>>(
+          corrupt_copy(ctx.rng, *shared));
+    }
+    deliver(from, to, std::move(payload), arrival);
+  }
+}
+
 void Network::set_segments(const std::vector<std::vector<NodeId>>& segments,
                            WanConfig wan) {
+  assert_idle("set_segments");
   std::vector<int> assignment(nodes_.size(), -1);
   int index = 0;
   for (const auto& segment : segments) {
@@ -174,12 +249,19 @@ void Network::set_segments(const std::vector<std::vector<NodeId>>& segments,
     PLWG_ASSERT_MSG(assignment[i] != -1,
                     "node missing from segment specification");
     nodes_[i].segment = assignment[i];
+    nodes_[i].shard = shard_of_segment(assignment[i]);
   }
   wan_ = wan;
   multi_segment_ = segments.size() > 1;
-  bus_free_at_.clear();
-  wan_free_at_.clear();
-  PLWG_INFO("net", "topology: ", segments.size(), " LAN segments");
+  clear_queues();
+  if (engine_ != nullptr && shards_.size() > 1) {
+    // Minimum cross-shard latency: every inter-segment packet pays at least
+    // 1us of uplink transmission plus the backbone propagation delay before
+    // it can reach another shard.
+    engine_->set_lookahead(wan_.propagation_delay_us + 1);
+  }
+  PLWG_INFO("net", "topology: ", segments.size(), " LAN segments on ",
+            shards_.size(), " shards");
 }
 
 int Network::segment_of(NodeId n) const {
@@ -195,42 +277,62 @@ void Network::unicast(NodeId from, NodeId to, std::vector<std::uint8_t> data) {
 void Network::deliver(NodeId from, NodeId to,
                       std::shared_ptr<const std::vector<std::uint8_t>> data,
                       Time arrival) {
+  // Always called from the destination node's shard (local traffic stays in
+  // the sender's == receiver's shard; backbone traffic lands here via
+  // segment_arrival), so the receiver's CPU queue and epoch are local.
+  //
   // The packet is addressed to the destination's *current incarnation*; if
   // the node crashes and restarts while the packet is in flight, the new
   // incarnation must not receive it.
   const std::uint32_t epoch = nodes_[to.value()].epoch;
+  Simulator& sim = *shards_[nodes_[to.value()].shard].sim;
   // Receiver CPU is a FIFO queue: processing starts when both the packet
   // has arrived and the CPU is free, and takes node_process_cost_us. The
   // CPU slot is claimed *at arrival* — claiming it at send time would let a
   // slow (e.g. cross-WAN) packet reserve the CPU into the future and starve
   // packets that arrive earlier.
-  sim_.schedule_at(arrival, [this, from, to, epoch,
-                             data = std::move(data)]() mutable {
+  sim.schedule_at(arrival, [this, from, to, epoch,
+                            data = std::move(data)]() mutable {
     NodeState& receiver = nodes_[to.value()];
+    ShardCtx& ctx = shards_[receiver.shard];
     if (receiver.epoch != epoch) {
-      stats_.stale_epoch_drops++;
+      ctx.stats.stale_epoch_drops++;
       return;
     }
     if (receiver.crashed) return;  // dead incarnation: no CPU to occupy
-    const Time start = std::max(sim_.now(), receiver.cpu_free_at);
+    const Time start = std::max(ctx.sim->now(), receiver.cpu_free_at);
     const Time done = start + config_.node_process_cost_us;
     receiver.cpu_free_at = done;
     // The buffer moves (not ref-bumps) through both hops: one multicast =
     // one encode = one shared buffer, refcounted once per destination.
-    sim_.schedule_at(done, [this, from, to, epoch, data = std::move(data)] {
+    ctx.sim->schedule_at(done, [this, from, to, epoch,
+                                data = std::move(data)] {
       NodeState& r = nodes_[to.value()];
+      ShardCtx& c = shards_[r.shard];
       if (r.epoch != epoch) {
-        stats_.stale_epoch_drops++;
+        c.stats.stale_epoch_drops++;
         return;
       }
       if (r.crashed) return;
-      stats_.deliveries++;
+      c.stats.deliveries++;
+      c.digest.record_delivery(c.sim->now(), from, to, data->size());
+      if (config_.digest_payloads) {
+        c.digest.fold_bytes(std::span<const std::uint8_t>(*data));
+      }
       r.handler->on_packet(from, std::span<const std::uint8_t>(*data));
     });
   });
 }
 
+void Network::clear_queues() {
+  for (ShardCtx& ctx : shards_) {
+    ctx.bus_free_at.clear();
+    ctx.uplink_free_at.clear();
+  }
+}
+
 void Network::set_partitions(const std::vector<std::vector<NodeId>>& classes) {
+  assert_idle("set_partitions");
   std::vector<int> assignment(nodes_.size(), -1);
   for (const auto& cls : classes) {
     const int token = next_partition_token_++;
@@ -247,16 +349,15 @@ void Network::set_partitions(const std::vector<std::vector<NodeId>>& classes) {
     nodes_[i].partition = assignment[i];
   }
   // New reachability classes restart the queues.
-  bus_free_at_.clear();
-  wan_free_at_.clear();
+  clear_queues();
   PLWG_INFO("net", "network partitioned into ", classes.size(), " classes");
 }
 
 void Network::heal() {
+  assert_idle("heal");
   const int token = next_partition_token_++;
   for (auto& node : nodes_) node.partition = token;
-  bus_free_at_.clear();
-  wan_free_at_.clear();
+  clear_queues();
   PLWG_INFO("net", "network healed");
 }
 
@@ -273,6 +374,7 @@ int Network::partition_of(NodeId n) const {
 }
 
 void Network::crash(NodeId n) {
+  assert_idle("crash");
   PLWG_ASSERT(n.value() < nodes_.size());
   nodes_[n.value()].crashed = true;
   PLWG_INFO("net", "node ", n, " crashed");
@@ -284,13 +386,14 @@ bool Network::crashed(NodeId n) const {
 }
 
 void Network::restart(NodeId n, NetHandler& handler) {
+  assert_idle("restart");
   PLWG_ASSERT(n.value() < nodes_.size());
   NodeState& node = nodes_[n.value()];
   PLWG_ASSERT_MSG(node.crashed, "restart of a node that is not crashed");
   node.crashed = false;
   node.epoch++;
   node.handler = &handler;
-  node.cpu_free_at = sim_.now();
+  node.cpu_free_at = shards_[node.shard].sim->now();
   PLWG_INFO("net", "node ", n, " restarted (epoch ", node.epoch, ")");
 }
 
@@ -300,17 +403,17 @@ std::uint32_t Network::crash_epoch(NodeId n) const {
 }
 
 std::vector<std::uint8_t> Network::corrupt_copy(
-    const std::vector<std::uint8_t>& data) {
+    Rng& rng, const std::vector<std::uint8_t>& data) {
   std::vector<std::uint8_t> out = data;
   if (out.empty()) return out;
-  if (rng_.next_bool(0.5)) {
+  if (rng.next_bool(0.5)) {
     // Truncation (possibly to an empty packet).
-    out.resize(rng_.next_below(out.size()));
+    out.resize(rng.next_below(out.size()));
   } else {
-    const std::size_t flips = 1 + rng_.next_below(4);
+    const std::size_t flips = 1 + rng.next_below(4);
     for (std::size_t i = 0; i < flips; ++i) {
-      out[rng_.next_below(out.size())] ^=
-          static_cast<std::uint8_t>(1u << rng_.next_below(8));
+      out[rng.next_below(out.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
     }
   }
   return out;
@@ -320,7 +423,35 @@ void Network::charge_cpu(NodeId n, Duration cost_us) {
   PLWG_ASSERT(n.value() < nodes_.size());
   PLWG_ASSERT(cost_us >= 0);
   NodeState& node = nodes_[n.value()];
-  node.cpu_free_at = std::max(sim_.now(), node.cpu_free_at) + cost_us;
+  node.cpu_free_at =
+      std::max(shards_[node.shard].sim->now(), node.cpu_free_at) + cost_us;
+}
+
+const NetworkStats& Network::stats() const {
+  agg_stats_ = {};
+  for (const ShardCtx& ctx : shards_) agg_stats_.accumulate(ctx.stats);
+  return agg_stats_;
+}
+
+void Network::reset_stats() {
+  for (ShardCtx& ctx : shards_) ctx.stats = {};
+  agg_stats_ = {};
+}
+
+void Network::note_frame(NodeId from, std::size_t messages,
+                         std::size_t piggybacked) {
+  ShardCtx& ctx = ctx_of(from);
+  ctx.stats.messages_sent += messages;
+  ctx.stats.piggybacked_acks += piggybacked;
+}
+
+std::uint64_t Network::trace_digest() const {
+  TraceDigest combined;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    combined.combine(shards_[s].digest);
+    combined.fold_u64(shards_[s].sim->total_events_run());
+  }
+  return combined.value();
 }
 
 }  // namespace plwg::sim

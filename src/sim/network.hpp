@@ -14,6 +14,19 @@
 // Partitions are reachability classes: a packet reaches only destinations in
 // the sender's class at send time. Healing restores one class. A "virtual
 // partition" (paper Sect. 4) is simulated the same way, only shorter-lived.
+//
+// Sharding: when the network is built over a sim::Engine, each LAN segment
+// is assigned to an engine shard (segment i -> shard i mod S) and all of the
+// segment's mutable simulation state — bus queue, WAN uplink queue, fault
+// RNG, stats, trace digest — lives in that shard's ShardCtx, touched only by
+// the thread running the shard. The only cross-shard interaction is the
+// backbone hop of an inter-segment packet, posted through Engine::post and
+// injected at a window barrier; its timestamp is at least the backbone
+// propagation delay in the future, which is exactly the engine's lookahead.
+// A consequence of per-shard ownership is that the WAN uplink queue is keyed
+// per (partition, source segment) instead of one global backbone queue:
+// each segment's uplink serializes independently, like per-port router
+// queues, so no shard ever waits on another shard's queue head.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +36,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/engine.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace_digest.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -49,6 +64,9 @@ struct NetworkConfig {
   /// When false, the bus queue is skipped: packets only pay propagation and
   /// processing cost. Useful for protocol-logic tests.
   bool shared_bus = true;
+  /// Fold delivered payload bytes into the trace digest (not just sizes).
+  /// Strictest determinism check; costs one pass over every payload.
+  bool digest_payloads = false;
   /// RNG seed for drops/jitter.
   std::uint64_t seed = 42;
 };
@@ -57,7 +75,7 @@ struct NetworkConfig {
 struct WanConfig {
   /// One-way propagation across the backbone, microseconds.
   Duration propagation_delay_us = 2'000;
-  /// Backbone bandwidth, bits per second (shared by all inter-LAN traffic).
+  /// Backbone bandwidth, bits per second (per source-segment uplink).
   double bandwidth_bps = 2e6;
 };
 
@@ -87,13 +105,20 @@ struct NetworkStats {
                             : static_cast<double>(messages_sent) /
                                   static_cast<double>(frames_sent);
   }
+  /// Fold `other` into this — barrier/aggregation-time only, never hot path.
+  void accumulate(const NetworkStats& other);
   /// Human-readable one-stop summary for logs and test failure output.
   [[nodiscard]] std::string debug_dump() const;
 };
 
 class Network {
  public:
+  /// Classic single-threaded form: one shard wrapping an external simulator.
   Network(Simulator& simulator, NetworkConfig config);
+  /// Sharded form: per-engine-shard state, segments mapped onto shards by
+  /// set_segments. With a 1-shard engine this behaves exactly like the
+  /// classic form.
+  Network(Engine& engine, NetworkConfig config);
 
   /// Register a host. The handler must outlive the network.
   NodeId add_node(NetHandler& handler);
@@ -102,6 +127,8 @@ class Network {
 
   /// Transmit `data` to every destination in `dests` that is reachable from
   /// `from` and alive. One bus occupancy regardless of destination count.
+  /// Must be called from the sending node's shard (its own event handlers)
+  /// or from the driver thread while the engine is idle.
   void multicast(NodeId from, std::span<const NodeId> dests,
                  std::vector<std::uint8_t> data);
 
@@ -111,10 +138,12 @@ class Network {
   /// Split the nodes into LAN segments connected by a store-and-forward
   /// WAN backbone. Intra-segment traffic uses that segment's shared bus as
   /// before; inter-segment deliveries additionally traverse the backbone
-  /// (its own queue + propagation) and the destination segment's bus.
-  /// Every node must appear in exactly one segment. Orthogonal to
-  /// partitions (cutting the WAN is expressed as a partition along segment
-  /// lines). The default is a single segment (no backbone hops).
+  /// (the source segment's uplink queue + propagation) and the destination
+  /// segment's bus. Every node must appear in exactly one segment.
+  /// Orthogonal to partitions (cutting the WAN is expressed as a partition
+  /// along segment lines). The default is a single segment (no backbone
+  /// hops). Over an engine, also assigns segments to shards and sets the
+  /// engine lookahead to the minimum cross-shard latency.
   void set_segments(const std::vector<std::vector<NodeId>>& segments,
                     WanConfig wan);
   [[nodiscard]] int segment_of(NodeId n) const;
@@ -148,63 +177,111 @@ class Network {
   /// deliveries at that node queue behind it. Models expensive per-message
   /// protocol work (e.g. membership operations) sharing the CPU with packet
   /// reception — the source of the paper's per-group recovery overhead.
+  /// Called from the node's own shard (the transport runs there).
   void charge_cpu(NodeId n, Duration cost_us);
 
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  /// Aggregated view over every shard's counters. Refreshed on each call;
+  /// read it while the engine is idle.
+  [[nodiscard]] const NetworkStats& stats() const;
+  void reset_stats();
+
+  /// Combined trace digest over all shards in shard-index order, folding in
+  /// each shard's executed-event count. Same seed => same value at any
+  /// PLWG_SIM_THREADS. Read while idle.
+  [[nodiscard]] std::uint64_t trace_digest() const;
 
   /// Called by the transport when it puts a coalesced frame on the wire:
   /// `messages` sub-messages rode it, `piggybacked` of which were stability
   /// traffic (acks/heartbeats) that would otherwise have been standalone
   /// frames. The network itself counts frames; only the transport knows
-  /// what is inside them.
-  void note_frame(std::size_t messages, std::size_t piggybacked) {
-    stats_.messages_sent += messages;
-    stats_.piggybacked_acks += piggybacked;
-  }
+  /// what is inside them. Counted on the sending node's shard.
+  void note_frame(NodeId from, std::size_t messages, std::size_t piggybacked);
 
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
-  [[nodiscard]] Simulator& simulator() { return sim_; }
+  /// Shard-0 simulator — the full clock in the classic single-shard form,
+  /// and a valid idle-time clock (== engine horizon) over an engine.
+  [[nodiscard]] Simulator& simulator() { return *shards_[0].sim; }
+  /// The event loop that runs this node's events; node-local timers must be
+  /// scheduled here so they execute in the node's shard.
+  [[nodiscard]] Simulator& simulator_for(NodeId n) {
+    return *shards_[nodes_[n.value()].shard].sim;
+  }
+  [[nodiscard]] std::size_t shard_of(NodeId n) const {
+    return nodes_[n.value()].shard;
+  }
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
 
  private:
   struct NodeState {
     NetHandler* handler = nullptr;
     int partition = 0;
     int segment = 0;
+    std::size_t shard = 0;    // owning engine shard (== segment mod S)
     bool crashed = false;
     std::uint32_t epoch = 0;  // bumped by restart(); stale packets die
-    Time cpu_free_at = 0;     // receiver CPU queue
+    Time cpu_free_at = 0;     // receiver CPU queue (owned by `shard`)
   };
 
+  /// Everything a shard mutates while running a window. One per engine
+  /// shard; exactly one in the classic form. No atomics: each instance is
+  /// touched by at most one thread per window, and only aggregated (stats,
+  /// digest) from the driver thread while idle.
+  struct ShardCtx {
+    Simulator* sim = nullptr;
+    Rng rng{0};
+    NetworkStats stats;
+    TraceDigest digest;
+    std::uint64_t next_packet_id = 0;  // per-shard minting, no global counter
+    // Bus queue heads per (partition class, segment) for segments owned by
+    // this shard; WAN uplink heads per (partition class, source segment).
+    std::unordered_map<std::int64_t, Time> bus_free_at;
+    std::unordered_map<std::int64_t, Time> uplink_free_at;
+  };
+
+  [[nodiscard]] ShardCtx& ctx_of(NodeId n) {
+    return shards_[nodes_[n.value()].shard];
+  }
+
   /// Return a corrupted copy of `data`: a truncated prefix or a few random
-  /// bit flips, chosen by the fault RNG.
-  [[nodiscard]] std::vector<std::uint8_t> corrupt_copy(
-      const std::vector<std::uint8_t>& data);
+  /// bit flips, chosen by the shard's fault RNG.
+  [[nodiscard]] static std::vector<std::uint8_t> corrupt_copy(
+      Rng& rng, const std::vector<std::uint8_t>& data);
 
   [[nodiscard]] Duration transmission_time(std::size_t payload_bytes,
                                            double bandwidth_bps) const;
   void deliver(NodeId from, NodeId to,
                std::shared_ptr<const std::vector<std::uint8_t>> data,
                Time arrival);
-  /// Bus-queue key: partition class x LAN segment.
+  /// Deliveries coming off the backbone onto `segment`'s bus — runs in the
+  /// segment's shard.
+  void segment_arrival(NodeId from, int partition, int segment,
+                       Duration lan_tx,
+                       const std::shared_ptr<const std::vector<std::uint8_t>>&
+                           shared,
+                       const std::vector<NodeId>& nodes);
+  /// Queue key: partition class x LAN segment.
   [[nodiscard]] static std::int64_t bus_key(int partition, int segment) {
     return (static_cast<std::int64_t>(partition) << 20) | segment;
   }
-  /// Occupies the given bus from `earliest`; returns transmission end.
-  Time occupy_bus(std::int64_t key, Time earliest, Duration tx_time);
+  /// Occupies a bus owned by `ctx` from `earliest`; returns transmission
+  /// end.
+  static Time occupy_bus(ShardCtx& ctx, std::int64_t key, Time earliest,
+                         Duration tx_time);
+  [[nodiscard]] std::size_t shard_of_segment(int segment) const {
+    return static_cast<std::size_t>(segment) % shards_.size();
+  }
+  /// Topology mutations are only legal while no window is running.
+  void assert_idle(const char* what) const;
+  void clear_queues();
 
-  Simulator& sim_;
+  Engine* engine_ = nullptr;  // null in the classic single-shard form
   NetworkConfig config_;
   WanConfig wan_;
   bool multi_segment_ = false;
-  Rng rng_;
-  std::vector<NodeState> nodes_;
-  // Bus queue heads per (partition class, segment); backbone queue per
-  // partition class. Reset when the partition layout changes.
-  std::unordered_map<std::int64_t, Time> bus_free_at_;
-  std::unordered_map<int, Time> wan_free_at_;
   int next_partition_token_ = 1;
-  NetworkStats stats_;
+  std::vector<NodeState> nodes_;
+  std::vector<ShardCtx> shards_;
+  mutable NetworkStats agg_stats_;  // refreshed by stats()
 };
 
 }  // namespace plwg::sim

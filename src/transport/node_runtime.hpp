@@ -117,8 +117,10 @@ class NodeRuntime : public sim::NetHandler {
   [[nodiscard]] const TransportConfig& config() const { return config_; }
   [[nodiscard]] ProcessId process_id() const { return process_of(id_); }
   [[nodiscard]] sim::Network& network() { return net_; }
-  [[nodiscard]] sim::Simulator& simulator() { return net_.simulator(); }
-  [[nodiscard]] Time now() const { return net_.simulator().now(); }
+  /// The event loop running this node's shard: node-local timers must live
+  /// there so they execute (deterministically) with the node's events.
+  [[nodiscard]] sim::Simulator& simulator() { return net_.simulator_for(id_); }
+  [[nodiscard]] Time now() const { return net_.simulator_for(id_).now(); }
 
   /// Attach a service; the handler must outlive the runtime.
   void register_port(Port port, PortHandler& handler);

@@ -1,0 +1,131 @@
+// sim::Engine: conservative-window sharded event loops. These tests drive
+// the engine directly (no network) to pin the synchronization contract:
+// lockstep windows, barrier-time mailbox injection in fixed order, exact
+// clock advancement, and thread-count-independent execution order.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace plwg::sim {
+namespace {
+
+TEST(EngineTest, SingleShardRunsLikeASimulator) {
+  Engine engine(1);
+  std::vector<int> order;
+  engine.shard(0).schedule_at(30, [&] { order.push_back(3); });
+  engine.shard(0).schedule_at(10, [&] { order.push_back(1); });
+  engine.shard(0).schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(engine.run_until(25), 2u);
+  EXPECT_EQ(engine.now(), 25);
+  EXPECT_EQ(engine.shard(0).now(), 25);
+  EXPECT_EQ(engine.run_until(100), 1u);
+  EXPECT_EQ((std::vector<int>{1, 2, 3}), order);
+  EXPECT_EQ(engine.now(), 100);
+}
+
+TEST(EngineTest, RunForAdvancesEveryShardExactly) {
+  Engine engine(3);
+  engine.set_lookahead(100);
+  engine.run_for(12'345);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(engine.shard(s).now(), 12'345);
+  }
+  EXPECT_EQ(engine.now(), 12'345);
+}
+
+TEST(EngineTest, ThreadCountIsClampedToShards) {
+  Engine::Config config;
+  config.threads = 8;
+  Engine engine(2, config);
+  EXPECT_EQ(engine.threads(), 2u);
+}
+
+TEST(EngineTest, CrossShardPostArrivesAtItsTimestamp) {
+  Engine engine(2);
+  engine.set_lookahead(50);
+  Time fired_at = -1;
+  // Shard 0 posts into shard 1 at +120us (>= lookahead, as the network
+  // guarantees by construction).
+  engine.shard(0).schedule_at(10, [&] {
+    engine.post(1, 130, [&] { fired_at = engine.shard(1).now(); });
+  });
+  engine.run_until(1'000);
+  EXPECT_EQ(fired_at, 130);
+}
+
+TEST(EngineTest, IdlePostSchedulesDirectly) {
+  Engine engine(2);
+  engine.set_lookahead(50);
+  bool fired = false;
+  engine.post(1, 5, [&] { fired = true; });  // driver thread, idle
+  engine.run_until(10);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EngineTest, BarrierHooksFireEachWindow) {
+  Engine engine(2);
+  engine.set_lookahead(100);
+  int barriers = 0;
+  engine.add_barrier_hook([&] { ++barriers; });
+  engine.run_until(1'000);  // 10 windows of 100us
+  EXPECT_EQ(barriers, 10);
+}
+
+/// The determinism contract at engine level: the same event program
+/// produces the same observable order at 1 thread and at many threads.
+std::string run_program(std::size_t threads) {
+  Engine::Config config;
+  config.threads = threads;
+  Engine engine(4, config);
+  engine.set_lookahead(100);
+  std::string trace;  // appended at barriers only (single-threaded there)
+  std::vector<std::vector<std::pair<Time, int>>> shard_events(4);
+  // Each shard runs a periodic local event and occasionally posts to the
+  // next shard; every event records (time, shard) into its shard's log.
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (Time t = 10 + static_cast<Time>(s); t < 2'000; t += 37) {
+      engine.shard(s).schedule_at(t, [&, s, t] {
+        shard_events[s].emplace_back(t, static_cast<int>(s));
+        if (t % 5 == 0) {
+          const std::size_t dst = (s + 1) % 4;
+          engine.post(dst, t + 150, [&, dst, t] {
+            shard_events[dst].emplace_back(t + 150, 100 + static_cast<int>(dst));
+          });
+        }
+      });
+    }
+  }
+  engine.add_barrier_hook([&] {
+    for (std::size_t s = 0; s < 4; ++s) {
+      for (const auto& [t, tag] : shard_events[s]) {
+        trace += std::to_string(t) + ":" + std::to_string(tag) + ";";
+      }
+      shard_events[s].clear();
+    }
+  });
+  engine.run_until(3'000);
+  return trace;
+}
+
+TEST(EngineTest, TraceIsIdenticalAcrossThreadCounts) {
+  const std::string seq = run_program(1);
+  EXPECT_FALSE(seq.empty());
+  EXPECT_EQ(seq, run_program(2));
+  EXPECT_EQ(seq, run_program(4));
+}
+
+TEST(EngineTest, EventCountAggregatesAcrossShards) {
+  Engine engine(2);
+  engine.set_lookahead(10);
+  int fired = 0;
+  engine.shard(0).schedule_at(5, [&] { ++fired; });
+  engine.shard(1).schedule_at(7, [&] { ++fired; });
+  EXPECT_EQ(engine.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace plwg::sim
