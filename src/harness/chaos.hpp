@@ -1,27 +1,45 @@
-// ChaosMonkey: randomized fault injection against a SimWorld — partitions
-// of random shape and duration, crashes and (optionally) crash–restart
-// cycles — driven step by step so tests and benches stay in control of
-// time.
+// ChaosMonkey: fault injection against a SimWorld, driven step by step so
+// tests and benches stay in control of time.
 //
-// Used by the soak tests and the availability experiment; deterministic
-// under a fixed seed like everything else in the simulator.
+// Two sources feed one timed-action schedule:
+//   * the randomized injector (ChaosConfig probabilities — partitions,
+//     crashes, crash–restart cycles), and
+//   * declarative scenarios (harness::Scenario via load()), expanded into
+//     primitive actions: partition intervals, directed-link faults, flap
+//     trains, crashes with scheduled restarts.
+//
+// Faults are *intervals*, not a single toggle: any number of partitions,
+// link faults and crashes may overlap — a crash can land mid-partition, a
+// second partition can open while one is still in force, and rolling
+// partitions shift membership between islands with no fully-connected
+// instant in between. The effective reachability classes are the refinement
+// product of every open partition interval. quiesce() drains the whole
+// interval set (and asserts it is empty) before any convergence check.
+//
+// Deterministic under a fixed seed like everything else in the simulator.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
+#include "harness/scenario.hpp"
 #include "harness/world.hpp"
+#include "sim/network.hpp"
 #include "util/rng.hpp"
 
 namespace plwg::harness {
 
 struct ChaosConfig {
   std::uint64_t seed = 1;
-  /// Mean time between fault events (exponential), microseconds.
+  /// When false the randomized injector is off: only load()ed scenario
+  /// schedules run. Scenario replays must not consume RNG draws.
+  bool random_faults = true;
+  /// Mean time between random fault events (exponential), microseconds.
   Duration mean_interval_us = 5'000'000;
-  /// Mean duration of a partition before it heals, microseconds.
+  /// Mean duration of a random partition interval, microseconds.
   Duration mean_partition_us = 4'000'000;
-  /// Probability a fault event is a crash instead of a partition.
+  /// Probability a random fault event is a crash instead of a partition.
   double crash_probability = 0.0;
   /// Most simultaneously-crashed processes chaos will allow (keeps a
   /// majority alive). With restarts enabled the same process may crash
@@ -46,11 +64,19 @@ class ChaosMonkey {
  public:
   ChaosMonkey(SimWorld& world, ChaosConfig config);
 
+  /// Expand `scenario`'s fault events into the schedule, with event time 0
+  /// anchored at the current sim time. May be called more than once (the
+  /// schedules interleave). Asserts every index fits the world.
+  void load(const Scenario& scenario);
+
   /// Advance the world by `us`, injecting faults on the way.
   void run_for(Duration us);
 
-  /// Heal any open partition, fire every pending restart, and stop
-  /// injecting. Crashed processes without a scheduled restart stay down.
+  /// Drain every open fault interval — heal all partitions, clear all link
+  /// faults, fire every pending restart, cancel not-yet-started scheduled
+  /// faults — and stop injecting. Crashed processes without a scheduled
+  /// restart stay down. Asserts the interval set is fully drained, so a
+  /// convergence check after quiesce() runs against a healthy network.
   void quiesce();
 
   [[nodiscard]] std::size_t partitions_injected() const {
@@ -60,6 +86,9 @@ class ChaosMonkey {
     return crashes_injected_;
   }
   [[nodiscard]] std::size_t restarts_fired() const { return restarts_fired_; }
+  [[nodiscard]] std::size_t link_faults_injected() const {
+    return link_faults_injected_;
+  }
   /// Processes currently down.
   [[nodiscard]] const std::vector<std::size_t>& crashed() const {
     return crashed_;
@@ -68,27 +97,80 @@ class ChaosMonkey {
   [[nodiscard]] const std::vector<RestartEvent>& restart_log() const {
     return restart_log_;
   }
-  [[nodiscard]] bool partitioned() const { return partitioned_; }
+  /// True while at least one partition interval is open.
+  [[nodiscard]] bool partitioned() const { return !active_partitions_.empty(); }
+  /// Open partition intervals right now.
+  [[nodiscard]] std::size_t open_partitions() const {
+    return active_partitions_.size();
+  }
+  /// Scheduled actions (fault starts and ends) not yet applied.
+  [[nodiscard]] std::size_t pending_actions() const {
+    return schedule_.size();
+  }
 
  private:
+  /// A primitive timed fault action. Scenario events expand into these;
+  /// the random injector mints them too, so both paths share the interval
+  /// machinery.
+  struct FaultAction {
+    enum class Kind {
+      kPartitionStart,
+      kPartitionEnd,
+      kLinkFaultSet,
+      kLinkFaultClear,
+      kCrash,
+    };
+    Kind kind = Kind::kPartitionStart;
+    std::uint64_t interval = 0;  // pairs a start with its end
+    // kPartitionStart
+    std::vector<std::vector<std::size_t>> islands;
+    std::vector<std::size_t> server_islands;
+    // kLinkFaultSet / kLinkFaultClear (process indexes, directed)
+    std::size_t from = 0;
+    std::size_t to = 0;
+    sim::LinkFault fault;
+    // kCrash
+    std::size_t victim = 0;
+    Duration down_us = 0;  // 0 = permanent (no scheduled restart)
+  };
+
+  struct ActivePartition {
+    std::vector<std::vector<std::size_t>> islands;
+    std::vector<std::size_t> server_islands;
+  };
+
   struct PendingRestart {
     Time due;
     std::size_t index;
     Time crashed_at;
   };
 
+  void push(Time at, FaultAction action);
+  void apply_due_actions();
+  void apply(const FaultAction& action);
+  /// Recompute the effective reachability classes as the refinement product
+  /// of every open partition interval and push them into the world.
+  void apply_partitions();
+  void set_link(std::size_t from, std::size_t to, bool symmetric,
+                const sim::LinkFault* fault);
+  void crash_now(std::size_t victim, Duration down_us);
   void inject();
   void fire_due_restarts();
   [[nodiscard]] Time earliest_pending() const;
+  [[nodiscard]] Time next_action_time() const;
+  [[nodiscard]] bool is_crashed(std::size_t index) const;
 
   SimWorld& world_;
   ChaosConfig config_;
   Rng rng_;
-  bool partitioned_ = false;
-  Time next_event_ = 0;
+  Time next_event_ = 0;  // next random injection (kTimeMax when disabled)
+  std::uint64_t next_interval_id_ = 1;
+  std::multimap<Time, FaultAction> schedule_;
+  std::map<std::uint64_t, ActivePartition> active_partitions_;
   std::size_t partitions_injected_ = 0;
   std::size_t crashes_injected_ = 0;
   std::size_t restarts_fired_ = 0;
+  std::size_t link_faults_injected_ = 0;
   std::vector<std::size_t> crashed_;
   std::vector<PendingRestart> pending_restarts_;
   std::vector<RestartEvent> restart_log_;

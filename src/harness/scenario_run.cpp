@@ -1,0 +1,169 @@
+// run_scenario: one deterministic adversarial episode. Build the world the
+// scenario describes (oracle on), form a single LWG over every process,
+// replay the scenario's fault schedule through ChaosMonkey with light
+// application traffic and 100 ms availability sampling, quiesce, converge,
+// and report availability / MTTR / oracle verdict.
+#include <algorithm>
+#include <map>
+
+#include "harness/chaos.hpp"
+#include "harness/scenario.hpp"
+#include "harness/world.hpp"
+#include "lwg/lwg_user.hpp"
+
+namespace plwg::harness {
+namespace {
+
+class NullUser : public lwg::LwgUser {
+ public:
+  void on_lwg_view(LwgId, const lwg::LwgView&) override {}
+  void on_lwg_data(LwgId, ProcessId, std::span<const std::uint8_t>) override {}
+};
+
+}  // namespace
+
+ScenarioResult run_scenario(const Scenario& scenario, std::uint64_t seed,
+                            std::size_t sim_threads) {
+  ScenarioResult result;
+
+  WorldConfig cfg;
+  cfg.num_processes = scenario.processes;
+  cfg.num_name_servers = scenario.name_servers;
+  cfg.net.seed = seed;
+  cfg.net.drop_probability = scenario.net_drop_probability;
+  cfg.net.jitter_us = scenario.net_jitter_us;
+  cfg.segments = scenario.segments;
+  cfg.sim_threads = sim_threads;
+  cfg.oracle = true;
+  SimWorld world(cfg);
+  const std::size_t n = world.num_processes();
+
+  // Form one LWG over every process before any fault fires.
+  std::vector<NullUser> users(n);
+  const LwgId id{1};
+  world.lwg(0).join(id, users[0]);
+  world.run_until([&] { return world.lwg(0).view_of(id) != nullptr; },
+                  20'000'000);
+  for (std::size_t i = 1; i < n; ++i) world.lwg(i).join(id, users[i]);
+  result.formed = world.run_until(
+      [&] {
+        for (std::size_t i = 0; i < n; ++i) {
+          const lwg::LwgView* v = world.lwg(i).view_of(id);
+          if (v == nullptr || v->members.size() != n) return false;
+        }
+        return true;
+      },
+      60'000'000);
+  if (!result.formed) {
+    result.failure = "group never formed before fault injection";
+    result.digest = world.trace_digest();
+    return result;
+  }
+
+  ChaosConfig chaos_cfg;
+  chaos_cfg.seed = seed;
+  chaos_cfg.random_faults = false;  // the scenario is the whole schedule
+  ChaosMonkey chaos(world, chaos_cfg);
+  chaos.load(scenario);
+
+  // Fault phase: 100 ms sampling ticks. Each tick every alive process is
+  // probed for availability (holds a view of the group) and one process
+  // round-robin sends a small application message so the data path stays
+  // exercised across every fault shape.
+  constexpr Duration kSample = 100'000;
+  std::uint64_t samples = 0, available = 0;
+  std::size_t log_seen = 0, sender = 0;
+  std::map<std::size_t, Time> awaiting_rejoin;  // index -> restarted_at
+  double rejoin_sum_us = 0;
+
+  const auto poll_rejoins = [&](Time now) {
+    for (std::size_t i = log_seen; i < chaos.restart_log().size(); ++i) {
+      const RestartEvent& ev = chaos.restart_log()[i];
+      awaiting_rejoin[ev.index] = ev.restarted_at;
+    }
+    log_seen = chaos.restart_log().size();
+    for (auto it = awaiting_rejoin.begin(); it != awaiting_rejoin.end();) {
+      if (std::find(chaos.crashed().begin(), chaos.crashed().end(),
+                    it->first) != chaos.crashed().end()) {
+        it = awaiting_rejoin.erase(it);  // crashed again before rejoining
+        continue;
+      }
+      if (world.lwg(it->first).view_of(id) != nullptr) {
+        rejoin_sum_us += static_cast<double>(now - it->second);
+        result.rejoins++;
+        it = awaiting_rejoin.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  const Time fault_end = world.simulator().now() + scenario.run_us;
+  while (world.simulator().now() < fault_end) {
+    chaos.run_for(std::min<Duration>(kSample,
+                                     fault_end - world.simulator().now()));
+    const Time now = world.simulator().now();
+    poll_rejoins(now);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::find(chaos.crashed().begin(), chaos.crashed().end(), i) !=
+          chaos.crashed().end()) {
+        continue;
+      }
+      ++samples;
+      if (world.lwg(i).view_of(id) != nullptr) ++available;
+    }
+    for (std::size_t tries = 0; tries < n; ++tries) {
+      const std::size_t s = sender++ % n;
+      if (std::find(chaos.crashed().begin(), chaos.crashed().end(), s) !=
+          chaos.crashed().end()) {
+        continue;
+      }
+      if (world.lwg(s).view_of(id) != nullptr) {
+        world.lwg(s).send(id, {0xAD, static_cast<std::uint8_t>(s)});
+      }
+      break;
+    }
+  }
+  result.availability_pct =
+      samples == 0 ? 0
+                   : 100.0 * static_cast<double>(available) /
+                         static_cast<double>(samples);
+
+  // Heal everything (quiesce asserts the fault state fully drains) and
+  // measure family MTTR: sim time from quiesce to global convergence.
+  chaos.quiesce();
+  const Time healed_at = world.simulator().now();
+  result.converged = world.run_until(
+      [&] { return world.convergence_failure().empty(); },
+      scenario.converge_timeout_us);
+  if (result.converged) {
+    result.recovery_us = world.simulator().now() - healed_at;
+    world.verify_convergence();
+  } else {
+    result.failure = world.convergence_failure();
+  }
+  poll_rejoins(world.simulator().now());
+
+  result.partitions = chaos.partitions_injected();
+  result.crashes = chaos.crashes_injected();
+  result.restarts = chaos.restarts_fired();
+  result.link_faults = chaos.link_faults_injected();
+  result.mean_rejoin_ms =
+      result.rejoins == 0
+          ? 0
+          : rejoin_sum_us / 1e3 / static_cast<double>(result.rejoins);
+
+  if (world.oracle_enabled()) {
+    result.oracle_clean = world.oracle().clean();
+    if (!result.oracle_clean && result.failure.empty()) {
+      result.failure = world.oracle().report_json();
+    }
+    world.oracle().clear();  // reported through the result, not the backstop
+  } else {
+    result.oracle_clean = true;
+  }
+  result.digest = world.trace_digest();
+  return result;
+}
+
+}  // namespace plwg::harness

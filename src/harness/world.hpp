@@ -77,6 +77,8 @@ class SimWorld {
     return net_->trace_digest();
   }
   [[nodiscard]] std::size_t num_processes() const { return processes_.size(); }
+  /// Dedicated name-server nodes (0 in the replicated-everywhere mode).
+  [[nodiscard]] std::size_t num_servers() const { return servers_.size(); }
 
   [[nodiscard]] lwg::LwgService& lwg(std::size_t i);
   [[nodiscard]] vsync::VsyncHost& vsync(std::size_t i);

@@ -56,6 +56,8 @@ class LwgService : public GroupService,
     std::uint64_t data_sent = 0;
     std::uint64_t data_delivered = 0;
     std::uint64_t data_filtered = 0;    // traffic for LWGs without a local member
+    std::uint64_t data_superseded = 0;  // stale-view copies discarded on arrival
+    std::uint64_t data_resent = 0;      // own copies that missed their view, re-sent
     std::uint64_t switches_started = 0;
     std::uint64_t switches_completed = 0;
     std::uint64_t merges_triggered = 0; // MERGE-VIEWS rounds initiated here
@@ -229,6 +231,7 @@ class LwgService : public GroupService,
   void handle_switched(HwgId gid, const SwitchedMsg& msg);
   void handle_redirect(HwgId gid, const RedirectMsg& msg);
   void handle_data(HwgId gid, ProcessId src, const DataMsgView& msg);
+  void resend_missed_view_copy(const DataMsgView& msg);
   void maybe_send_switch_ready(LocalGroup& lg);
   /// Coordinator: fold pending adds/removes into the next LWG view if no
   /// view installation is already in flight.

@@ -474,6 +474,12 @@ void LwgService::abort_switch(LocalGroup& lg) {
 void LwgService::handle_data(HwgId gid, ProcessId src, const DataMsgView& msg) {
   LocalGroup* lg = find_group(msg.lwg);
   if (lg == nullptr || !lg->has_view || lg->hwg != gid) {
+    if (lg != nullptr && lg->has_view && src == self()) {
+      // Our own copy came back on an HWG the group has since switched away
+      // from — same missed-view shape as the superseded stamp below.
+      resend_missed_view_copy(msg);
+      return;
+    }
     stats_.data_filtered++;  // interference: traffic we only pay to discard
     return;
   }
@@ -485,10 +491,33 @@ void LwgService::handle_data(HwgId gid, ProcessId src, const DataMsgView& msg) {
     lg->user->on_lwg_data(msg.lwg, src, msg.payload);
     return;
   }
-  if (lg->ancestors.contains(msg.lwg_view)) return;  // late, superseded
+  if (lg->ancestors.contains(msg.lwg_view)) {  // late, superseded
+    stats_.data_superseded++;
+    if (src == self()) resend_missed_view_copy(msg);
+    return;
+  }
   // DATA for a concurrent view of a group we are in: local peer discovery
   // (paper Fig. 5 lines 103-107).
   trigger_merge_views(gid);
+}
+
+// A DATA message of ours came back stamped with a view that has since been
+// superseded: the vsync endpoint held it across a view change (a send that
+// lands mid-flush sits in the endpoint's pending queue and is only multicast
+// once the NEXT view installs), so every receiver — including us — sees a
+// stale stamp and discards the copy. Nobody delivered it. The sender is the
+// one process that can tell a superseded copy of its own message from late
+// interference, and dropping it here would silently lose a message that
+// send() accepted in a fully-active group. Re-send it stamped with the live
+// view: delivery becomes at-least-once across view changes instead of
+// silently lossy, and the copy chases the membership until one delivery
+// lands in the view that is current when it arrives.
+void LwgService::resend_missed_view_copy(const DataMsgView& msg) {
+  stats_.data_resent++;
+  PLWG_DEBUG("lwg", "p", self(), " re-sending own DATA for lwg ", msg.lwg,
+             " stamped with superseded view ", msg.lwg_view.to_string());
+  send(msg.lwg,
+       std::vector<std::uint8_t>(msg.payload.begin(), msg.payload.end()));
 }
 
 // --- reconciliation Step 2 (paper Sect. 6.2) -----------------------------------

@@ -18,6 +18,7 @@ void NetworkStats::accumulate(const NetworkStats& other) {
   bytes_sent += other.bytes_sent;
   bytes_on_wire += other.bytes_on_wire;
   drops += other.drops;
+  link_blocked += other.link_blocked;
   corruptions += other.corruptions;
   stale_epoch_drops += other.stale_epoch_drops;
   bus_busy_us += other.bus_busy_us;
@@ -33,6 +34,7 @@ std::string NetworkStats::debug_dump() const {
   out += " deliveries=" + std::to_string(deliveries);
   out += " bytes_on_wire=" + std::to_string(bytes_on_wire);
   out += " drops=" + std::to_string(drops);
+  out += " link_blocked=" + std::to_string(link_blocked);
   out += " corruptions=" + std::to_string(corruptions);
   out += " stale_epoch_drops=" + std::to_string(stale_epoch_drops);
   out += " bus_busy_us=" + std::to_string(bus_busy_us) + "}";
@@ -144,16 +146,27 @@ void Network::multicast(NodeId from, std::span<const NodeId> dests,
     }
     const NodeState& receiver = nodes_[to.value()];
     if (receiver.crashed || receiver.partition != sender.partition) continue;
-    if (config_.drop_probability > 0 &&
-        ctx.rng.next_bool(config_.drop_probability)) {
+    // Directed-link fault: the one-way check that partitions cannot express.
+    const LinkFault* lf = link_fault(from, to);
+    if (lf != nullptr && lf->blocked) {
+      ctx.stats.link_blocked++;
+      continue;
+    }
+    const double drop_p = (lf != nullptr && lf->drop_probability >= 0)
+                              ? lf->drop_probability
+                              : config_.drop_probability;
+    if (drop_p > 0 && ctx.rng.next_bool(drop_p)) {
       ctx.stats.drops++;
       continue;
     }
     if (receiver.segment == sender.segment || !multi_segment_) {
       Time arrival = tx_end + config_.propagation_delay_us;
-      if (config_.jitter_us > 0) {
+      const Duration jitter = (lf != nullptr && lf->jitter_us >= 0)
+                                  ? lf->jitter_us
+                                  : config_.jitter_us;
+      if (jitter > 0) {
         arrival += static_cast<Duration>(ctx.rng.next_below(
-            static_cast<std::uint64_t>(config_.jitter_us) + 1));
+            static_cast<std::uint64_t>(jitter) + 1));
       }
       auto payload = shared;
       if (config_.corrupt_probability > 0 &&
@@ -216,9 +229,13 @@ void Network::segment_arrival(
           : ctx.sim->now();
   for (NodeId to : nodes) {
     Time arrival = seg_done + config_.propagation_delay_us;
-    if (config_.jitter_us > 0) {
+    const LinkFault* lf = link_fault(from, to);
+    const Duration jitter = (lf != nullptr && lf->jitter_us >= 0)
+                                ? lf->jitter_us
+                                : config_.jitter_us;
+    if (jitter > 0) {
       arrival += static_cast<Duration>(ctx.rng.next_below(
-          static_cast<std::uint64_t>(config_.jitter_us) + 1));
+          static_cast<std::uint64_t>(jitter) + 1));
     }
     auto payload = shared;
     if (config_.corrupt_probability > 0 &&
@@ -371,6 +388,35 @@ bool Network::reachable(NodeId a, NodeId b) const {
 int Network::partition_of(NodeId n) const {
   PLWG_ASSERT(n.value() < nodes_.size());
   return nodes_[n.value()].partition;
+}
+
+void Network::set_link_fault(NodeId from, NodeId to, LinkFault fault) {
+  assert_idle("set_link_fault");
+  PLWG_ASSERT(from.valid() && from.value() < nodes_.size());
+  PLWG_ASSERT(to.valid() && to.value() < nodes_.size());
+  PLWG_ASSERT_MSG(from != to, "link fault on a node's loopback path");
+  PLWG_ASSERT(fault.drop_probability <= 1.0);
+  link_faults_[link_key(from, to)] = fault;
+  PLWG_DEBUG("net", "link ", from, "->", to, " fault: blocked=", fault.blocked,
+             " drop=", fault.drop_probability, " jitter=", fault.jitter_us);
+}
+
+void Network::clear_link_fault(NodeId from, NodeId to) {
+  assert_idle("clear_link_fault");
+  link_faults_.erase(link_key(from, to));
+}
+
+void Network::clear_link_faults() {
+  if (link_faults_.empty()) return;
+  assert_idle("clear_link_faults");
+  link_faults_.clear();
+  PLWG_INFO("net", "all link faults cleared");
+}
+
+const LinkFault* Network::link_fault(NodeId from, NodeId to) const {
+  if (link_faults_.empty()) return nullptr;
+  const auto it = link_faults_.find(link_key(from, to));
+  return it == link_faults_.end() ? nullptr : &it->second;
 }
 
 void Network::crash(NodeId n) {

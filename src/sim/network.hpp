@@ -79,6 +79,23 @@ struct WanConfig {
   double bandwidth_bps = 2e6;
 };
 
+/// Fault state of one *directed* link, layered on top of the reachability
+/// classes: a packet from `from` to `to` must survive both the partition
+/// check and the (from, to) link fault. Asymmetric (one-way) links are the
+/// point — blocking A->B while B->A still works — plus per-link drop and
+/// jitter overrides for lossy/laggy paths. Link flapping is expressed as a
+/// timed sequence of set_link_fault / clear_link_fault calls (driven by
+/// harness::ChaosMonkey); the network itself holds only the current state.
+struct LinkFault {
+  /// Packets in this direction are silently discarded at send time.
+  bool blocked = false;
+  /// Per-delivery drop probability override; negative inherits
+  /// NetworkConfig::drop_probability.
+  double drop_probability = -1.0;
+  /// Delivery jitter override; negative inherits NetworkConfig::jitter_us.
+  Duration jitter_us = -1;
+};
+
 /// Interface implemented by every simulated host.
 class NetHandler {
  public:
@@ -94,6 +111,7 @@ struct NetworkStats {
   std::uint64_t bytes_sent = 0;        // payload bytes transmitted
   std::uint64_t bytes_on_wire = 0;     // payload + headers
   std::uint64_t drops = 0;
+  std::uint64_t link_blocked = 0;      // deliveries eaten by a down link
   std::uint64_t corruptions = 0;       // deliveries mutated in transit
   std::uint64_t stale_epoch_drops = 0; // packets addressed to a dead incarnation
   Duration bus_busy_us = 0;            // accumulated transmission time
@@ -158,6 +176,21 @@ class Network {
 
   [[nodiscard]] bool reachable(NodeId a, NodeId b) const;
   [[nodiscard]] int partition_of(NodeId n) const;
+
+  // --- per-directed-link faults -----------------------------------------
+  /// Install (or replace) the fault state of the directed link from->to.
+  /// Driver-thread-only, like every topology mutation. Orthogonal to
+  /// partitions: a delivery must pass both checks.
+  void set_link_fault(NodeId from, NodeId to, LinkFault fault);
+  /// Restore the directed link from->to to the default (healthy) state.
+  void clear_link_fault(NodeId from, NodeId to);
+  /// Restore every link. Cheap no-op when no faults are installed.
+  void clear_link_faults();
+  /// Current fault on from->to, or nullptr when the link is healthy.
+  [[nodiscard]] const LinkFault* link_fault(NodeId from, NodeId to) const;
+  [[nodiscard]] std::size_t link_fault_count() const {
+    return link_faults_.size();
+  }
 
   // --- crashes & restarts -----------------------------------------------
   /// Crash a node: it no longer sends or receives, until restart().
@@ -274,11 +307,20 @@ class Network {
   void assert_idle(const char* what) const;
   void clear_queues();
 
+  /// Directed-link key for link_faults_.
+  [[nodiscard]] static std::uint64_t link_key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
+  }
+
   Engine* engine_ = nullptr;  // null in the classic single-shard form
   NetworkConfig config_;
   WanConfig wan_;
   bool multi_segment_ = false;
   int next_partition_token_ = 1;
+  /// Directed-link fault overrides. Mutated only from the driver thread
+  /// while the engine is idle; read (const) from shard threads mid-window,
+  /// which is safe for the same reason partition tokens are.
+  std::unordered_map<std::uint64_t, LinkFault> link_faults_;
   std::vector<NodeState> nodes_;
   std::vector<ShardCtx> shards_;
   mutable NetworkStats agg_stats_;  // refreshed by stats()

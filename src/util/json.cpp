@@ -1,0 +1,277 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace plwg {
+
+const char* JsonValue::type_name(Type t) {
+  switch (t) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kNumber: return "number";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+  }
+  return "?";
+}
+
+namespace {
+[[noreturn]] void type_mismatch(JsonValue::Type want, JsonValue::Type got) {
+  throw JsonError(std::string("expected ") + JsonValue::type_name(want) +
+                  ", got " + JsonValue::type_name(got));
+}
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) type_mismatch(Type::kBool, type_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::kNumber) type_mismatch(Type::kNumber, type_);
+  return num_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) type_mismatch(Type::kString, type_);
+  return str_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (type_ != Type::kArray) type_mismatch(Type::kArray, type_);
+  return arr_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (type_ != Type::kObject) type_mismatch(Type::kObject, type_);
+  return obj_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw JsonError(what + " at line " + std::to_string(line) + ", column " +
+                    std::to_string(col));
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  char take() { return text_[pos_++]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char c, const char* where) {
+    skip_ws();
+    if (eof() || peek() != c) {
+      fail(std::string("expected '") + c + "' " + where);
+    }
+    ++pos_;
+  }
+
+  bool try_take(char c) {
+    skip_ws();
+    if (!eof() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{', "to open object");
+    JsonValue::Object obj;
+    if (try_take('}')) return JsonValue(std::move(obj));
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected string key in object");
+      std::string key = parse_string();
+      expect(':', "after object key");
+      if (obj.contains(key)) fail("duplicate key \"" + key + "\"");
+      obj.emplace(std::move(key), parse_value());
+      if (try_take('}')) return JsonValue(std::move(obj));
+      expect(',', "between object members");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[', "to open array");
+    JsonValue::Array arr;
+    if (try_take(']')) return JsonValue(std::move(arr));
+    while (true) {
+      arr.push_back(parse_value());
+      if (try_take(']')) return JsonValue(std::move(arr));
+      expect(',', "between array elements");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"', "to open string");
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail("unterminated escape in string");
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // \uXXXX — decoded as UTF-8; surrogate pairs are not needed by the
+          // corpus and are rejected explicitly rather than mis-decoded.
+          std::uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+              fail("bad \\u escape");
+            }
+            const char h = take();
+            cp = cp * 16 +
+                 static_cast<std::uint32_t>(
+                     h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          if (cp >= 0xD800 && cp <= 0xDFFF) {
+            fail("surrogate \\u escapes are not supported");
+          }
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape in string");
+      }
+    }
+  }
+
+  JsonValue parse_bool() {
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return JsonValue(true);
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return JsonValue(false);
+    }
+    fail("invalid literal");
+  }
+
+  JsonValue parse_null() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return JsonValue();
+    }
+    fail("invalid literal");
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    bool digits = false;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      ++pos_;
+      digits = true;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+        digits = true;
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      bool exp_digits = false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+        exp_digits = true;
+      }
+      if (!exp_digits) fail("malformed exponent");
+    }
+    if (!digits) fail("malformed number");
+    const std::string token(text_.substr(start, pos_ - start));
+    return JsonValue(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace plwg

@@ -1,0 +1,72 @@
+// Minimal JSON for the scenario DSL: a recursive-descent parser producing a
+// JsonValue tree, with line/column-annotated parse errors. Deliberately
+// small — objects, arrays, strings (with escapes), numbers, booleans, null —
+// because the container bakes in no JSON dependency and the corpus files are
+// hand-written. Not a streaming parser; scenario files are a few KB.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plwg {
+
+/// Thrown on malformed input; the message carries line:column context.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  /// std::map keeps keys ordered — iteration order is deterministic, which
+  /// matters for error reporting and round-trip tests.
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;
+  explicit JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit JsonValue(double d) : type_(Type::kNumber), num_(d) {}
+  explicit JsonValue(std::string s)
+      : type_(Type::kString), str_(std::move(s)) {}
+  explicit JsonValue(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+  explicit JsonValue(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] static const char* type_name(Type t);
+
+  // Checked accessors: throw JsonError naming the actual type on mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+/// Throws JsonError with "line L, column C" context on malformed input.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+}  // namespace plwg

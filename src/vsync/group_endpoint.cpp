@@ -178,6 +178,21 @@ void GroupEndpoint::become_defunct() {
 void GroupEndpoint::note_heard(ProcessId p) {
   if (!has_view_ || !view_.members.contains(p)) return;
   last_heard_[p] = now();
+  // Rehabilitation: live shared-view traffic from a suspect restores trust.
+  // Suspicion used to be sticky until a view change reset it, which is fine
+  // when the suspecter ends up acting coordinator (it excludes the suspect)
+  // — but after a one-way outage heals, a member that suspected the
+  // coordinator while everyone else stayed connected is NOT the acting
+  // coordinator, so nobody ever turns its suspicion into a view change. It
+  // then refuses to NACK-repair from or route sends through the "dead"
+  // sequencer forever: a silent livelock with a perfectly consistent view.
+  // An in-flight flush is unaffected: proposals snapshot the survivor set at
+  // initiation, so clearing the flag here cannot change an open proposal.
+  if (suspected_.contains(p)) {
+    suspected_.erase(p);
+    PLWG_DEBUG("vsync", "p", self(), " g", gid_, " rehabilitates ", p);
+    flush_pending_sends();
+  }
 }
 
 void GroupEndpoint::update_suspicions() {
@@ -296,6 +311,24 @@ void GroupEndpoint::on_tick() {
     merge_follow_.reset();
     PLWG_DEBUG("vsync", "p", self(), " g", gid_, " watchdog re-forms view");
     initiate_view_change(/*for_merge=*/false);
+  }
+
+  // A NON-coordinator wedged in Stopped confirmed the cut, but the
+  // initiator's NEW_VIEW to it was lost: the initiator dismantles its flush
+  // op on the last FLUSH_DONE, so nothing retransmits the view, while our
+  // cross-view heartbeats keep feeding everyone's failure detector — nobody
+  // ever suspects us and we stay deaf forever. Re-offer the FLUSH_DONE; the
+  // initiator answers a stale one with the superseding view (or an eject if
+  // history moved past it).
+  if (state_ == State::kStopped && part_flush_ && part_flush_->done_sent &&
+      t - state_since_ >= cfg.stuck_watchdog_us &&
+      (last_flush_done_resent_ < 0 ||
+       t - last_flush_done_resent_ >= cfg.flush_retry_us)) {
+    last_flush_done_resent_ = t;
+    Encoder& body = scratch_body();
+    FlushDoneMsg{part_flush_->old_view, part_flush_->epoch, self()}
+        .encode(body);
+    unicast(part_flush_->initiator, MsgType::kFlushDone, body);
   }
 }
 

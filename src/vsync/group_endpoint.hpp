@@ -175,6 +175,7 @@ class GroupEndpoint {
   void on_fetch_reply(const FetchReplyMsg& msg);
   void on_flush_cut(const FlushCutMsg& msg);
   void on_flush_done(const FlushDoneMsg& msg);
+  void answer_stale_flush_done(const FlushDoneMsg& msg);
   void on_new_view(const NewViewMsg& msg);
   void send_join_req();
   /// Schedule a membership batch; the view change starts after
@@ -255,6 +256,7 @@ class GroupEndpoint {
   Time last_heartbeat_sent_ = -1;
   Time last_nack_check_ = 0;
   Time last_probe_sent_ = 0;
+  Time last_flush_done_resent_ = -1;  // Stopped-straggler FLUSH_DONE re-offer
 
   // Membership change requests pending at this process (acted on when it is
   // the acting coordinator).

@@ -324,6 +324,7 @@ void GroupEndpoint::deliver_cut(const FlushCutMsg& msg) {
 void GroupEndpoint::on_flush_done(const FlushDoneMsg& msg) {
   if (!flush_op_ || flush_op_->old_view != msg.old_view ||
       !flush_op_->cut_sent) {
+    answer_stale_flush_done(msg);
     return;
   }
   if (!flush_op_->targets.contains(msg.sender)) return;
@@ -369,6 +370,32 @@ void GroupEndpoint::install_and_announce(const MemberSet& members,
   multicast(all, MsgType::kNewView, body);
 }
 
+// A FLUSH_DONE for a flush we are not running comes from a straggler still
+// Stopped in a view we already closed: the NEW_VIEW we multicast on the
+// last DONE was lost on its link, and the flush op that could have
+// retransmitted it is dismantled. The straggler keeps heartbeating (so
+// nobody suspects it) but is deaf to the new view's protocols — without an
+// answer it is wedged forever. Re-announce the outcome: replay our view if
+// it directly succeeded the one the straggler is stuck in (its NACK repair
+// then backfills the backlog — stability GC stalls on a silent member, so
+// the log is still complete), else eject it so the layer above rejoins
+// with fresh endpoint state.
+void GroupEndpoint::answer_stale_flush_done(const FlushDoneMsg& msg) {
+  if (state_ != State::kActive || !has_view_ || flush_op_ ||
+      msg.sender == self() || msg.old_view == view_.id) {
+    return;
+  }
+  const auto& preds = view_.predecessors;
+  const bool direct_successor =
+      std::find(preds.begin(), preds.end(), msg.old_view) != preds.end();
+  NewViewMsg reply{view_,
+                   direct_successor ? departed_ : MemberSet{msg.sender}};
+  Encoder& body = scratch_body();
+  body.reserve(reply.encoded_size_hint());
+  reply.encode(body);
+  unicast(msg.sender, MsgType::kNewView, body);
+}
+
 void GroupEndpoint::on_new_view(const NewViewMsg& msg) {
   departed_ = departed_.set_union(msg.departed);
   if (state_ == State::kJoining) {
@@ -380,7 +407,16 @@ void GroupEndpoint::on_new_view(const NewViewMsg& msg) {
   const auto& preds = msg.view.predecessors;
   const bool succeeds_ours =
       std::find(preds.begin(), preds.end(), view_.id) != preds.end();
-  if (!succeeds_ours) return;
+  if (!succeeds_ours) {
+    // Eject answer to a stale FLUSH_DONE: history moved past any direct
+    // successor of the view we are stuck in, so a clean late install is
+    // impossible. Only a Stopped straggler obeys — an installed member
+    // ignores a stray eject that raced its recovery.
+    if (state_ == State::kStopped && msg.departed.contains(self())) {
+      become_defunct();
+    }
+    return;
+  }
   if (msg.view.members.contains(self())) {
     install_view(msg.view);
     known_peers_ = known_peers_.set_difference(departed_);

@@ -121,5 +121,119 @@ TEST_P(ChaosSoakTest, CrashRestartCyclesConvergeAfterQuiesce) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakTest,
                          ::testing::Values(71, 72, 73, 74, 75, 76));
 
+// Regression flushed out by the adversarial corpus (partition-chaos soak,
+// seed 74): a send() accepted while the group is fully active at the LWG
+// layer can land while the vsync endpoint underneath is mid-flush. The
+// payload then crosses the view boundary inside the endpoint's pending
+// queue, is multicast in the NEXT view still carrying the old LWG view
+// stamp, and every receiver discards it as "late, superseded" — silent,
+// permanent loss of an accepted message. The sender must recognise its own
+// superseded copy and re-send it stamped with the live view.
+using SendDuringFlushTest = LwgFixture;
+
+TEST_F(SendDuringFlushTest, SendAcceptedMidFlushIsNotLost) {
+  harness::WorldConfig cfg;
+  cfg.num_processes = 5;
+  cfg.num_name_servers = 2;
+  cfg.net.seed = 74;
+  build(cfg);
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2, 3, 4});
+  const std::optional<HwgId> hwg = lwg(0).hwg_of(id);
+  ASSERT_TRUE(hwg.has_value());
+
+  // Cut p4 off, then catch the exact window where p0's endpoint has left
+  // the active state for the flush that removes p4 while the LWG layer
+  // still shows the old 5-member view. 0.5 ms probes: the window between
+  // flush start and the next view install is only a few milliseconds wide.
+  world().partition({{0, 1, 2, 3}, {4}});
+  bool caught = false;
+  for (int i = 0; i < 60'000 && !caught; ++i) {
+    world().run_for(500);
+    const vsync::GroupEndpoint* ep = world().vsync(0).endpoint(*hwg);
+    const LwgView* v = lwg(0).view_of(id);
+    caught = ep != nullptr &&
+             ep->state() != vsync::GroupEndpoint::State::kActive &&
+             v != nullptr && v->members.size() == 5;
+  }
+  ASSERT_TRUE(caught) << "never observed the mid-flush send window";
+
+  const auto before = user(1).total_delivered(id);
+  lwg(0).send(id, payload(9));
+  // Without the missed-view re-send the copy is dropped everywhere and
+  // user 1 never sees it.
+  EXPECT_TRUE(run_until(
+      [&] { return user(1).total_delivered(id) > before; }, 30'000'000));
+  EXPECT_GE(lwg(0).stats().data_resent, 1u);
+  world().heal();
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1, 2, 3, 4},
+                             members_of({0, 1, 2, 3, 4}));
+      },
+      120'000'000));
+}
+
+// Overlapping fault intervals: a second partition opens while the first is
+// still in force, a crash-with-restart lands mid-partition, and a one-way
+// link fault spans both. quiesce() must drain the whole interval set (heal
+// everything, fire the pending restart, leave nothing scheduled) so the
+// convergence check runs against a genuinely healthy network.
+using OverlappingFaultTest = LwgFixture;
+
+TEST_F(OverlappingFaultTest, CrashLandsMidPartitionAndQuiesceDrainsAll) {
+  harness::WorldConfig cfg;
+  cfg.num_processes = 6;
+  cfg.num_name_servers = 2;
+  cfg.net.seed = 7;
+  build(cfg);
+  const LwgId id{1};
+  form_lwg(id, {0, 1, 2, 3, 4, 5});
+
+  const harness::Scenario sc = harness::parse_scenario(R"json({
+    "name": "overlap-inline",
+    "events": [
+      { "kind": "partition", "at_ms": 1000,
+        "islands": [[0,1,2],[3,4,5]], "duration_ms": 8000 },
+      { "kind": "link_down", "at_ms": 2000, "from": 0, "to": 3,
+        "duration_ms": 9000 },
+      { "kind": "crash", "at_ms": 3000, "node": 5, "down_ms": 3000 },
+      { "kind": "partition", "at_ms": 4000,
+        "islands": [[0,1],[2,3,4,5]], "duration_ms": 8000 }
+    ]
+  })json");
+  harness::ChaosConfig chaos_cfg;
+  chaos_cfg.random_faults = false;
+  harness::ChaosMonkey chaos(world(), chaos_cfg);
+  chaos.load(sc);
+
+  std::size_t max_open = 0;
+  for (int i = 0; i < 13'000 / 250; ++i) {
+    chaos.run_for(250'000);
+    max_open = std::max(max_open, chaos.open_partitions());
+  }
+  EXPECT_EQ(max_open, 2u) << "the two partition intervals never overlapped";
+  EXPECT_EQ(chaos.crashes_injected(), 1u);
+  EXPECT_EQ(chaos.restarts_fired(), 1u);  // came back mid-partition
+  EXPECT_GE(chaos.link_faults_injected(), 1u);
+
+  chaos.quiesce();
+  EXPECT_FALSE(chaos.partitioned());
+  EXPECT_EQ(chaos.open_partitions(), 0u);
+  EXPECT_EQ(chaos.pending_actions(), 0u);
+  EXPECT_TRUE(chaos.crashed().empty());
+
+  ASSERT_TRUE(run_until(
+      [&] {
+        return lwg_converged(id, {0, 1, 2, 3, 4, 5},
+                             members_of({0, 1, 2, 3, 4, 5}));
+      },
+      300'000'000));
+  const auto before = user(5).total_delivered(id);
+  lwg(0).send(id, payload(3));
+  EXPECT_TRUE(run_until(
+      [&] { return user(5).total_delivered(id) > before; }, 30'000'000));
+}
+
 }  // namespace
 }  // namespace plwg::lwg::testing

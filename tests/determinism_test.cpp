@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "harness/chaos.hpp"
+#include "harness/scenario.hpp"
 #include "harness/world.hpp"
 #include "lwg/lwg_user.hpp"
 #include "util/codec.hpp"
@@ -124,6 +125,35 @@ TEST(DeterminismTest, IdenticalDigestsAtOneTwoAndEightThreads) {
       EXPECT_EQ(base.converged, other.converged);
       EXPECT_TRUE(other.oracle_clean)
           << "threads " << threads << ": " << other.oracle_report;
+    }
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+}
+
+/// The adversarial corpus's fault shapes — flap trains and one-way links
+/// inside each segment, lossy cross-segment overrides — must preserve the
+/// contract on the sharded engine: every per-link drop/jitter draw comes
+/// from the owning shard's RNG stream, so the digest cannot depend on the
+/// worker-thread count or on cross-shard execution interleaving.
+TEST(DeterminismTest, ScenarioFaultShapesAreThreadCountInvariant) {
+  const Scenario scenario =
+      load_scenario_file(scenario_dir() + "/wan_flap_asymmetric.json");
+  const std::uint64_t seeds = env_u64("PLWG_DET_SCENARIO_SEEDS", 2);
+  const std::uint64_t first = env_u64("PLWG_DET_FIRST", 1);
+  for (std::uint64_t seed = first; seed < first + seeds; ++seed) {
+    const ScenarioResult base = run_scenario(scenario, seed, /*threads=*/1);
+    EXPECT_TRUE(base.formed) << "seed " << seed;
+    EXPECT_TRUE(base.converged) << "seed " << seed << ": " << base.failure;
+    EXPECT_TRUE(base.oracle_clean) << "seed " << seed << ": " << base.failure;
+    for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      const ScenarioResult other = run_scenario(scenario, seed, threads);
+      EXPECT_EQ(base.digest, other.digest)
+          << "seed " << seed << ": scenario digest diverged at " << threads
+          << " threads";
+      EXPECT_EQ(base.converged, other.converged) << "seed " << seed;
+      EXPECT_TRUE(other.oracle_clean)
+          << "seed " << seed << " threads " << threads << ": "
+          << other.failure;
     }
     if (::testing::Test::HasFatalFailure()) break;
   }

@@ -10,10 +10,12 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "harness/world.hpp"
+#include "vsync/group_endpoint.hpp"
 
 namespace plwg::lwg::testing {
 
@@ -106,10 +108,15 @@ class LwgFixture : public ::testing::Test {
   }
 
   /// All listed processes installed the same LWG view with `members`, all
-  /// mapped on the same HWG.
+  /// mapped on the same HWG — and the vsync substrate under that view is
+  /// stable: every member's endpoint is active (not mid-flush or mid-merge)
+  /// and no listed member suspects another. Matching LWG views alone can be
+  /// a transient snapshot while residual suspicion is still churning the
+  /// HWG underneath; a send issued in that window lands in a dying view.
   bool lwg_converged(LwgId id, const std::vector<std::size_t>& indexes,
                      const MemberSet& members) {
     const LwgView* reference = nullptr;
+    std::optional<HwgId> hwg;
     for (std::size_t i : indexes) {
       const LwgView* v = lwg(i).view_of(id);
       if (v == nullptr || v->members != members) return false;
@@ -117,6 +124,20 @@ class LwgFixture : public ::testing::Test {
         reference = v;
       } else if (!(*v == *reference)) {
         return false;
+      }
+      const std::optional<HwgId> h = lwg(i).hwg_of(id);
+      if (!h.has_value()) return false;
+      if (!hwg.has_value()) {
+        hwg = h;
+      } else if (*h != *hwg) {
+        return false;
+      }
+      const vsync::GroupEndpoint* ep = world_->vsync(i).endpoint(*h);
+      if (ep == nullptr || ep->state() != vsync::GroupEndpoint::State::kActive) {
+        return false;
+      }
+      for (std::size_t j : indexes) {
+        if (ep->suspected().contains(pid(j))) return false;
       }
     }
     return true;

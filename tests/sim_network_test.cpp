@@ -212,5 +212,87 @@ TEST_F(NetFixture, MulticastAcrossPartitionClassesStillChargesOnce) {
   EXPECT_EQ(st.deliveries - base.deliveries, 1u);
 }
 
+// --- per-directed-link faults -------------------------------------------
+
+TEST_F(NetFixture, BlockedLinkFaultIsOneWay) {
+  build(2);
+  net->set_link_fault(nodes[0], nodes[1], LinkFault{.blocked = true});
+  net->unicast(nodes[0], nodes[1], {1});
+  net->unicast(nodes[1], nodes[0], {2});
+  sim.run();
+  // 0->1 is dead; the reverse direction is untouched.
+  EXPECT_TRUE(handlers[1]->packets.empty());
+  ASSERT_EQ(handlers[0]->packets.size(), 1u);
+  EXPECT_EQ(net->stats().link_blocked, 1u);
+  // Blocked at the link layer, not dropped by loss: drops stays clean.
+  EXPECT_EQ(net->stats().drops, 0u);
+}
+
+TEST_F(NetFixture, BlockedLinkOnlyAffectsThatDestination) {
+  build(3);
+  net->set_link_fault(nodes[0], nodes[1], LinkFault{.blocked = true});
+  net->multicast(nodes[0], std::array{nodes[1], nodes[2]}, {9});
+  sim.run();
+  EXPECT_TRUE(handlers[1]->packets.empty());
+  EXPECT_EQ(handlers[2]->packets.size(), 1u);
+}
+
+TEST_F(NetFixture, ClearLinkFaultRestoresDelivery) {
+  build(2);
+  net->set_link_fault(nodes[0], nodes[1], LinkFault{.blocked = true});
+  net->unicast(nodes[0], nodes[1], {1});
+  sim.run();
+  EXPECT_TRUE(handlers[1]->packets.empty());
+  net->clear_link_fault(nodes[0], nodes[1]);
+  EXPECT_EQ(net->link_fault_count(), 0u);
+  net->unicast(nodes[0], nodes[1], {2});
+  sim.run();
+  ASSERT_EQ(handlers[1]->packets.size(), 1u);
+  EXPECT_EQ(handlers[1]->packets[0].data, (std::vector<std::uint8_t>{2}));
+}
+
+TEST_F(NetFixture, LinkDropOverrideBeatsGlobalConfig) {
+  // Global loss is zero; the faulted direction loses everything.
+  build(3);
+  net->set_link_fault(nodes[0], nodes[1],
+                      LinkFault{.drop_probability = 1.0});
+  for (int i = 0; i < 5; ++i) {
+    net->multicast(nodes[0], std::array{nodes[1], nodes[2]}, {7});
+  }
+  sim.run();
+  EXPECT_TRUE(handlers[1]->packets.empty());
+  EXPECT_EQ(handlers[2]->packets.size(), 5u);
+  EXPECT_EQ(net->stats().drops, 5u);
+}
+
+TEST_F(NetFixture, NegativeOverridesInheritGlobalConfig) {
+  // A fault entry with both overrides negative behaves like a healthy link.
+  build(2);
+  net->set_link_fault(nodes[0], nodes[1], LinkFault{});
+  net->unicast(nodes[0], nodes[1], {3});
+  sim.run();
+  ASSERT_EQ(handlers[1]->packets.size(), 1u);
+}
+
+TEST_F(NetFixture, LinkJitterOverrideDelaysOnlyThatDirection) {
+  config.jitter_us = 0;
+  build(3);
+  net->set_link_fault(nodes[0], nodes[1], LinkFault{.jitter_us = 20'000});
+  for (int i = 0; i < 8; ++i) {
+    net->multicast(nodes[0], std::array{nodes[1], nodes[2]}, {1});
+    sim.run();
+  }
+  ASSERT_EQ(handlers[1]->packets.size(), 8u);
+  ASSERT_EQ(handlers[2]->packets.size(), 8u);
+  bool any_later = false;
+  for (std::size_t i = 0; i < 8; ++i) {
+    // Jittered copies never arrive before the clean ones, and the uniform
+    // draw makes at least one strictly later across eight sends.
+    EXPECT_GE(handlers[1]->packets[i].at, handlers[2]->packets[i].at);
+    any_later |= handlers[1]->packets[i].at > handlers[2]->packets[i].at;
+  }
+  EXPECT_TRUE(any_later);
+}
+
 }  // namespace
 }  // namespace plwg::sim

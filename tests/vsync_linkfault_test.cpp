@@ -1,0 +1,159 @@
+// Vsync behaviour under directed link faults: one-way (asymmetric) links and
+// lost control messages. These pin the NEW_VIEW-loss recovery path (a member
+// that sent FLUSH_DONE but never saw the resulting view must not wedge in
+// Stopped forever) and audit failure detection when only one direction of a
+// link is dead — the adversarial shapes the scenario corpus generates.
+#include <gtest/gtest.h>
+
+#include "vsync_fixture.hpp"
+
+namespace plwg::vsync::testing {
+namespace {
+
+class VsyncLinkFaultTest : public VsyncFixture {
+ protected:
+  HwgId form_group(std::size_t n, sim::NetworkConfig net_cfg = {}) {
+    build(n, net_cfg);
+    const HwgId gid = host(0).allocate_group_id();
+    host(0).create_group(gid, user(0));
+    std::vector<std::size_t> all{0};
+    MemberSet members{pid(0)};
+    for (std::size_t i = 1; i < n; ++i) {
+      host(i).join_group(gid, MemberSet{pid(0)}, user(i));
+      all.push_back(i);
+      members.insert(pid(i));
+    }
+    EXPECT_TRUE(
+        run_until([&] { return converged(gid, all, members); }, 10'000'000));
+    return gid;
+  }
+};
+
+// A flush participant that loses the NEW_VIEW multicast must recover. The
+// window: p2 delivers the cut, sends FLUSH_DONE, and parks in Stopped; the
+// initiator's NEW_VIEW is then dropped on the (now one-way) link. Cross-view
+// heartbeats keep feeding both failure detectors, so neither side suspects
+// the other — without the FLUSH_DONE re-offer the straggler would stay a
+// deaf zombie forever. Regression for exactly that wedge.
+TEST_F(VsyncLinkFaultTest, StoppedMemberRecoversFromLostNewView) {
+  const HwgId gid = form_group(4);
+
+  // p3 leaves, forcing the coordinator (p0) to run a flush with p1 and p2.
+  host(3).leave_group(gid);
+
+  // Catch p2 in Stopped (cut delivered, FLUSH_DONE in flight) before the
+  // NEW_VIEW comes back. The whole window is a couple of network round
+  // trips, far below the fixture's 10ms run_until step, so poll at 50us.
+  bool caught = false;
+  for (int i = 0; i < 100'000 && !caught; ++i) {
+    run_for(50);
+    const GroupEndpoint* ep = host(2).endpoint(gid);
+    caught = ep != nullptr && ep->state() == GroupEndpoint::State::kStopped;
+  }
+  ASSERT_TRUE(caught) << "never observed p2 in Stopped during the flush";
+
+  // Kill the initiator->p2 direction: the NEW_VIEW multicast (and any
+  // heartbeats from p0) vanish, while p2's own traffic still gets through.
+  net_->set_link_fault(node(0), node(2), sim::LinkFault{.blocked = true});
+
+  // The survivors install the 3-member view without p2's help.
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1}, members_of({0, 1, 2})); },
+      10'000'000));
+
+  // While the link is down p2 has no way to learn the view; it must sit in
+  // Stopped (not defunct, not suspected into a new flush).
+  run_for(500'000);
+  {
+    const GroupEndpoint* ep = host(2).endpoint(gid);
+    ASSERT_NE(ep, nullptr);
+    EXPECT_EQ(ep->state(), GroupEndpoint::State::kStopped);
+  }
+
+  // Heal. p2's periodic FLUSH_DONE re-offer reaches the initiator, which
+  // replays the NEW_VIEW; p2 installs it and rejoins the live view.
+  net_->clear_link_fault(node(0), node(2));
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1, 2}, members_of({0, 1, 2})); },
+      10'000'000));
+
+  // The recovered member is fully live: it can still multicast and deliver.
+  const auto before = user(2).total_delivered(gid);
+  host(0).send(gid, payload(7));
+  EXPECT_TRUE(run_until(
+      [&] { return user(2).total_delivered(gid) > before; }, 5'000'000));
+}
+
+// Coordinator->member direction dead: p2 goes deaf to p0 but p0 still hears
+// p2's heartbeats, so p0 never suspects p2 and the group keeps its view.
+// The audit: no mutual-suspicion livelock, no safety violation (oracle runs
+// in TearDown), and once the link heals every member converges on one view
+// and delivery resumes for the deaf side.
+TEST_F(VsyncLinkFaultTest, OneWayDeafMemberConvergesAfterHeal) {
+  const HwgId gid = form_group(3);
+
+  net_->set_link_fault(node(0), node(2), sim::LinkFault{.blocked = true});
+  // Traffic during the fault keeps the sequencer and repair paths busy.
+  for (int burst = 0; burst < 4; ++burst) {
+    host(0).send(gid, payload(static_cast<std::uint8_t>(burst)));
+    host(2).send(gid, payload(static_cast<std::uint8_t>(0x40 + burst)));
+    run_for(1'000'000);
+  }
+  net_->clear_link_fault(node(0), node(2));
+
+  ASSERT_TRUE(run_until(
+      [&] {
+        const View* v = host(0).view_of(gid);
+        if (v == nullptr) return false;
+        // Whatever membership the detectors settled on, all processes that
+        // are in it must agree on it, and p0 and p2 must end up together
+        // again (either the view never changed or they re-merged).
+        if (!v->members.contains(pid(0)) || !v->members.contains(pid(2))) {
+          return false;
+        }
+        std::vector<std::size_t> idx;
+        for (std::size_t i = 0; i < 3; ++i) {
+          if (v->members.contains(pid(i))) idx.push_back(i);
+        }
+        return converged(gid, idx, v->members);
+      },
+      30'000'000));
+
+  // Delivery is live again end to end after the heal.
+  const auto before = user(2).total_delivered(gid);
+  host(0).send(gid, payload(0x7E));
+  EXPECT_TRUE(run_until(
+      [&] { return user(2).total_delivered(gid) > before; }, 5'000'000));
+}
+
+// Member->coordinator direction dead: p0 stops hearing p2, suspects it, and
+// must complete the exclusion flush without p2's cooperation (every ack from
+// p2 is lost). p2, cut off from the group's progress, takes over its stale
+// view on its own. The audit: the survivors install the 2-member view in
+// bounded time, and after the heal the merge path reunites all three into a
+// single common view — nobody is wedged on either side of the asymmetry.
+TEST_F(VsyncLinkFaultTest, MuteMemberIsExcludedThenRemergesAfterHeal) {
+  const HwgId gid = form_group(3);
+
+  net_->set_link_fault(node(2), node(0), sim::LinkFault{.blocked = true});
+
+  // Survivors must reach a 2-member view despite p2 never acking anything.
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1}, members_of({0, 1})); },
+      20'000'000));
+
+  net_->clear_link_fault(node(2), node(0));
+
+  // Full recovery: the partitioned-out member merges back and all three end
+  // up in one view again, with delivery live end to end.
+  ASSERT_TRUE(run_until(
+      [&] { return converged(gid, {0, 1, 2}, members_of({0, 1, 2})); },
+      30'000'000));
+  const auto before = user(0).total_delivered(gid);
+  host(2).send(gid, payload(0x55));
+  EXPECT_TRUE(run_until(
+      [&] { return user(0).total_delivered(gid) > before; }, 5'000'000));
+}
+
+}  // namespace
+}  // namespace plwg::vsync::testing
